@@ -1,0 +1,61 @@
+"""Ablation — the DTS sigmoid's slope and centre (Eq. 5 uses 10 and 1/2).
+
+Sweeps the factor's shape on the Fig. 5(b) testbed scenario to show the
+published constants sit near the knee: too gentle a slope stops shifting
+(converges to plain OLIA-like behaviour), too steep a slope overreacts.
+"""
+
+from conftest import run_once
+
+from repro.core.dts import DtsFactorConfig
+from repro.energy.accounting import ConnectionEnergyMeter
+from repro.energy.cpu import default_wired_host
+from repro.topology.dumbbell import build_traffic_shifting
+from repro.units import mb, mbps
+
+
+def _run_with_factor(factor: DtsFactorConfig, seed: int = 2):
+    from repro.algorithms.dts import DtsController
+
+    scenario = build_traffic_shifting(
+        algorithm="lia", transfer_bytes=mb(48), seed=seed,
+        mean_burst_interval=4.0, mean_burst_duration=3.0,
+        burst_rate_bps=mbps(85), queue_packets=400,
+    )
+    # Swap in a DTS controller with the requested factor.
+    controller = DtsController(factor=factor)
+    conn = scenario.connection
+    controller.attach(conn.subflows)
+    for sf in conn.subflows:
+        sf.controller = controller
+    conn.controller = controller
+    meter = ConnectionEnergyMeter(
+        scenario.network.sim, conn, default_wired_host(), interval=0.1,
+        n_subflows=2,
+    )
+    scenario.start_all()
+    scenario.network.run_until_complete([conn], timeout=600)
+    meter.stop()
+    return meter.energy_j, conn.aggregate_goodput_bps()
+
+
+def sweep():
+    results = {}
+    for slope in (2.0, 10.0, 40.0):
+        energy, goodput = _run_with_factor(DtsFactorConfig(slope=slope))
+        results[slope] = (energy, goodput)
+    return results
+
+
+def test_ablation_epsilon_slope(benchmark):
+    results = run_once(benchmark, sweep)
+
+    print("\nAblation — DTS sigmoid slope on the Fig. 5(b) scenario:")
+    for slope, (energy, goodput) in sorted(results.items()):
+        print(f"  slope={slope:5.1f} energy={energy:7.1f} J "
+              f"goodput={goodput/1e6:6.1f} Mbps")
+
+    # The paper's slope=10 must not be worse than the extremes by much:
+    # it stays within 10% of the best energy in the sweep.
+    energies = {s: e for s, (e, _) in results.items()}
+    assert energies[10.0] <= min(energies.values()) * 1.10

@@ -1,0 +1,56 @@
+"""Ablation — the energy-price weight kappa (Eq. 7).
+
+Sweeps kappa on the wireless scenario to trace the energy/throughput
+tradeoff frontier the compensative parameter controls: kappa = 0 is plain
+DTS; growing kappa drains the expensive path harder, trading throughput
+for energy until it over-throttles.
+"""
+
+from conftest import run_once
+
+from repro.energy.accounting import ConnectionEnergyMeter
+from repro.experiments.fig17_wireless import wireless_host_model
+from repro.topology.wireless import build_wireless
+
+
+def sweep():
+    results = {}
+    for kappa in (0.0, 5e-4, 2e-3, 8e-3):
+        energies, goodputs = [], []
+        for seed in (1, 2):
+            kwargs = None
+            if kappa > 0:
+                kwargs = {"kappa": kappa, "gamma": 0.3,
+                          "delay_cost_weight": 2.0,
+                          "delay_cost_reference": 0.1}
+            scenario = build_wireless(
+                algorithm="dts" if kappa == 0 else "dts-ext",
+                transfer_bytes=None, seed=seed, controller_kwargs=kwargs,
+            )
+            conn = scenario.connection
+            meter = ConnectionEnergyMeter(
+                scenario.network.sim, conn, wireless_host_model(),
+                interval=0.1, n_subflows=2,
+            )
+            scenario.start_all()
+            scenario.network.run(until=40.0)
+            energies.append(meter.energy_j)
+            goodputs.append(conn.aggregate_goodput_bps(elapsed=40.0))
+        results[kappa] = (sum(energies) / 2, sum(goodputs) / 2)
+    return results
+
+
+def test_ablation_kappa_tradeoff(benchmark):
+    results = run_once(benchmark, sweep)
+
+    print("\nAblation — kappa sweep on the WiFi+4G scenario:")
+    for kappa, (energy, goodput) in sorted(results.items()):
+        print(f"  kappa={kappa:7.0e} energy={energy:6.1f} J "
+              f"goodput={goodput/1e6:5.2f} Mbps")
+
+    goodputs = {k: g for k, (_, g) in results.items()}
+    # The drain's throughput cost grows with kappa: the largest kappa must
+    # sit below plain DTS.
+    assert goodputs[8e-3] <= goodputs[0.0] * 1.02
+    # And no kappa in the sweep catastrophically collapses the connection.
+    assert min(goodputs.values()) > 0.4 * max(goodputs.values())

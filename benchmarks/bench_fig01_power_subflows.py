@@ -1,0 +1,32 @@
+"""Fig. 1 — CPU power of TCP vs MPTCP vs subflow count.
+
+Paper's claims: MPTCP consumes more CPU power than TCP, and MPTCP power
+increases with the number of subflows.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig01_power_vs_subflows
+from repro.units import mb
+
+
+def test_fig01_power_vs_subflows(benchmark):
+    result = run_once(
+        benchmark, fig01_power_vs_subflows.run,
+        subflow_counts=[1, 2, 4, 8], transfer_bytes=mb(6),
+    )
+    tcp = result.tcp.mean_power_w
+    powers = [m.mean_power_w for m in result.mptcp_by_subflows]
+
+    rows = [("tcp", 1, tcp)] + [
+        (f"mptcp-{n}", 2 * n, p)
+        for n, p in zip(result.subflow_counts, powers)
+    ]
+    print("\nFig. 1 — mean host power (W):")
+    for label, subflows, power in rows:
+        print(f"  {label:10s} subflows={subflows:2d} power={power:6.2f} W")
+
+    # Claim 1: MPTCP > TCP at every subflow count.
+    assert all(p > tcp for p in powers)
+    # Claim 2: power increases with the subflow count (monotone series).
+    assert powers == sorted(powers)

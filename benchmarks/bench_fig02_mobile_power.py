@@ -1,0 +1,25 @@
+"""Fig. 2 — Nexus 5 power: TCP/WiFi vs TCP/LTE vs MPTCP.
+
+Paper's claim: MPTCP largely increases the phone's power consumption over
+either single-radio TCP configuration.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig02_mobile_power
+from repro.units import mb
+
+
+def test_fig02_mobile_power(benchmark):
+    result = run_once(benchmark, fig02_mobile_power.run, transfer_bytes=mb(2))
+    by = result.by_label()
+
+    print("\nFig. 2 — Nexus 5 device power (W):")
+    for m in result.measurements:
+        print(f"  {m.label:9s} wifi={m.wifi_bps/1e6:5.2f} Mbps "
+              f"lte={m.lte_bps/1e6:5.2f} Mbps power={m.device_power_w:5.2f} W")
+
+    assert by["mptcp"].device_power_w > by["tcp-wifi"].device_power_w
+    assert by["mptcp"].device_power_w > by["tcp-lte"].device_power_w
+    # MPTCP actually uses both radios.
+    assert by["mptcp"].wifi_bps > 0 and by["mptcp"].lte_bps > 0

@@ -1,0 +1,27 @@
+"""Fig. 4 — power under different path delays at matched throughput.
+
+Paper's claim: an MPTCP flow on high-RTT paths consumes more CPU power
+than one on low-RTT paths at the same throughput.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig04_power_vs_delay
+
+
+def test_fig04_power_vs_delay(benchmark):
+    result = run_once(benchmark, fig04_power_vs_delay.run,
+                      path_delays_ms=[20, 60, 120])
+
+    print("\nFig. 4 — power vs path delay:")
+    for p in result.points:
+        m = p.measurement
+        print(f"  delay={p.path_delay_s*1e3:5.0f} ms goodput={m.goodput_bps/1e6:6.1f}"
+              f" Mbps power={m.mean_power_w:6.2f} W")
+
+    powers = [p.measurement.mean_power_w for p in result.points]
+    goodputs = [p.measurement.goodput_bps for p in result.points]
+    # Power rises monotonically with delay...
+    assert powers == sorted(powers)
+    # ...while throughput stays comparable (the controlled variable).
+    assert min(goodputs) > 0.7 * max(goodputs)

@@ -1,0 +1,33 @@
+"""Fig. 6 — per-user energy of the four TCP-friendly algorithms.
+
+Paper's claim: OLIA (the Pareto-optimal one) consumes the least average
+energy among LIA/OLIA/Balia/ecMTCP in the N-user shared-bottleneck
+scenario, increasingly so at larger N.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig06_shared_bottleneck
+from repro.units import mb
+
+
+def test_fig06_olia_most_energy_efficient(benchmark):
+    result = run_once(
+        benchmark, fig06_shared_bottleneck.run,
+        algorithms=["lia", "olia", "balia", "ecmtcp"],
+        user_counts=[4, 8], transfer_bytes=mb(2),
+    )
+
+    print("\nFig. 6 — per-user energy box summaries:")
+    for c in result.cells:
+        s = c.stats
+        print(f"  N={c.n_users:3d} {c.algorithm:7s} mean={s.mean:6.2f} J "
+              f"median={s.median:6.2f} [Q1={s.q1:6.2f} Q3={s.q3:6.2f}] "
+              f"outliers={len(s.outliers)}")
+
+    for n in (4, 8):
+        olia = result.mean_energy("olia", n)
+        others = [result.mean_energy(a, n) for a in ("lia", "balia")]
+        # OLIA at or below the non-Pareto-optimal algorithms (small slack
+        # for simulation noise).
+        assert all(olia <= other * 1.05 for other in others)

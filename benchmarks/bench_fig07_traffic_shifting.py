@@ -1,0 +1,28 @@
+"""Fig. 7 — traffic shifting of the existing algorithms under Pareto bursts.
+
+Paper's claim: LIA outperforms the other three existing algorithms (OLIA,
+Balia, ecMTCP) at traffic shifting in the Fig. 5(b) scenario.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig07_traffic_shifting
+from repro.units import mb
+
+
+def test_fig07_lia_shifts_best_of_existing(benchmark):
+    result = run_once(
+        benchmark, fig07_traffic_shifting.run,
+        transfer_bytes=mb(24), seeds=[1, 2, 3],
+    )
+    by = result.by_algorithm()
+
+    print("\nFig. 7 — Fig. 5(b) scenario, existing algorithms:")
+    for r in result.rows:
+        print(f"  {r.algorithm:7s} goodput={r.goodput_bps/1e6:6.1f} Mbps "
+              f"completion={r.completion_time:5.2f} s energy={r.energy_j:7.1f} J")
+
+    lia = by["lia"].goodput_bps
+    # LIA at the top of the existing pack (small slack for noise).
+    for other in ("olia", "balia", "ecmtcp"):
+        assert lia >= by[other].goodput_bps * 0.97

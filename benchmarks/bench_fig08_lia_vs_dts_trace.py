@@ -1,0 +1,27 @@
+"""Fig. 8 — LIA vs modified-LIA (DTS) time traces.
+
+Paper's claim: the DTS modification saves energy without degrading
+throughput through the bursty-path scenario.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig08_trace
+
+
+def test_fig08_trace(benchmark):
+    result = run_once(benchmark, fig08_trace.run, duration=30.0, seed=3,
+                      bin_width=3.0)
+    lia, dts = result.traces["lia"], result.traces["dts"]
+
+    print("\nFig. 8 — binned traces (Mbps):")
+    for i, t in enumerate(lia.times):
+        dts_g = dts.goodput_bps[i] / 1e6 if i < len(dts.goodput_bps) else float("nan")
+        print(f"  t={t:5.1f}s lia={lia.goodput_bps[i]/1e6:6.1f} dts={dts_g:6.1f}")
+    print(f"  energy: lia={lia.total_energy_j:.1f} J dts={dts.total_energy_j:.1f} J")
+
+    # DTS keeps throughput (>= 90% of LIA) at no extra energy (<= 105%).
+    assert dts.mean_goodput_bps >= 0.9 * lia.mean_goodput_bps
+    assert dts.total_energy_j <= 1.05 * lia.total_energy_j
+    # Traces actually span several bins.
+    assert len(lia.times) >= 5

@@ -1,0 +1,25 @@
+"""Fig. 10 — the EC2 virtual-cloud comparison: TCP, DCTCP, LIA, DTS.
+
+Paper's claims: the multipath algorithms save a large fraction (up to
+~70%) of the single-path algorithms' aggregated energy, and DTS performs
+similarly to LIA in this benign datacenter network.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10_ec2
+
+
+def test_fig10_ec2(benchmark):
+    result = run_once(benchmark, fig10_ec2.run, n_hosts=40, duration=15.0)
+
+    print("\nFig. 10 — EC2 topology, 40 hosts x 4 ENIs:")
+    for r in result.rows:
+        print(f"  {r.label:6s} goodput={r.aggregate_goodput_bps/1e9:6.2f} Gbps "
+              f"energy={r.energy_per_gb:8.1f} J/GB")
+
+    # Multipath saves >= 40% vs both single-path baselines (paper: up to 70%).
+    assert result.saving_vs("tcp", "dts") > 0.40
+    assert result.saving_vs("dctcp", "dts") > 0.40
+    # DTS ~ LIA in this scenario.
+    assert abs(result.saving_vs("lia", "dts")) < 0.10

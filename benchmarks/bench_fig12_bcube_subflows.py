@@ -1,0 +1,26 @@
+"""Fig. 12 — energy overhead of LIA in BCube vs subflow count.
+
+Paper's claim: increasing the number of subflows greatly reduces the
+energy overhead in BCube (the server-centric topology keeps finding fresh
+NIC capacity).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_14_subflows
+
+
+def test_fig12_bcube_subflows_save_energy(benchmark):
+    result = run_once(benchmark, fig12_14_subflows.run_fig12,
+                      subflow_counts=[1, 2, 4, 8], duration=20.0, seeds=[1, 2])
+    series = result.energy_series()
+
+    print("\nFig. 12 — BCube energy overhead (J/GB) vs subflows:")
+    for p in result.points:
+        print(f"  subflows={p.n_subflows} J/GB={p.energy_per_gb:8.1f} "
+              f"goodput={p.aggregate_goodput_bps/1e9:5.2f} Gbps")
+
+    # More subflows save energy: 8 clearly below 1 (paper shows a steep drop).
+    assert series[8] < series[1] * 0.85
+    # And the trend is downward through the middle of the sweep.
+    assert series[2] < series[1]

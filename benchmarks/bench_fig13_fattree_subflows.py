@@ -1,0 +1,28 @@
+"""Fig. 13 — energy overhead of LIA in FatTree vs subflow count.
+
+Paper's claim: unlike BCube, increasing the number of subflows fails to
+keep saving energy in the hierarchical FatTree — the curve flattens and
+turns back up as subflow overhead outgrows the utilization gains.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_14_subflows
+
+
+def test_fig13_fattree_subflows_stop_saving(benchmark):
+    result = run_once(benchmark, fig12_14_subflows.run_fig13,
+                      subflow_counts=[1, 2, 4, 8], duration=20.0, seeds=[1, 2])
+    series = result.energy_series()
+
+    print("\nFig. 13 — FatTree energy overhead (J/GB) vs subflows:")
+    for p in result.points:
+        print(f"  subflows={p.n_subflows} J/GB={p.energy_per_gb:8.1f} "
+              f"goodput={p.aggregate_goodput_bps/1e9:5.2f} Gbps")
+
+    # The 4 -> 8 step no longer saves energy (the curve has bottomed out),
+    # in contrast to BCube's continued decline.
+    assert series[8] >= series[4] * 0.98
+    # And FatTree's total relative saving is far smaller than BCube's
+    # (checked against its own sweep: no deep monotone drop to 8 subflows).
+    assert series[8] > series[1] * 0.55

@@ -1,0 +1,26 @@
+"""Fig. 14 — energy overhead of LIA in VL2 vs subflow count.
+
+Paper's claim: increasing the number of subflows fails to save energy in
+VL2 (the fat fabric is already well utilized by one subflow; extra
+subflows only add overhead).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_14_subflows
+
+
+def test_fig14_vl2_subflows_do_not_save(benchmark):
+    result = run_once(benchmark, fig12_14_subflows.run_fig14,
+                      subflow_counts=[1, 2, 4, 8], duration=20.0, seeds=[1, 2])
+    series = result.energy_series()
+
+    print("\nFig. 14 — VL2 energy overhead (J/GB) vs subflows:")
+    for p in result.points:
+        print(f"  subflows={p.n_subflows} J/GB={p.energy_per_gb:8.1f} "
+              f"goodput={p.aggregate_goodput_bps/1e9:5.2f} Gbps")
+
+    # Energy overhead rises monotonically with the subflow count.
+    values = [series[n] for n in (1, 2, 4, 8)]
+    assert values == sorted(values)
+    assert series[8] > series[1] * 1.2

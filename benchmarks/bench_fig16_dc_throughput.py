@@ -1,0 +1,27 @@
+"""Fig. 16 — aggregate throughput in FatTree and VL2.
+
+Paper's claim: "our algorithm gets as good utilization as LIA" — the DTS
+family's energy behaviour does not cost datacenter throughput.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig16_dc_throughput
+
+
+def test_fig16_dts_matches_lia_throughput(benchmark):
+    result = run_once(benchmark, fig16_dc_throughput.run,
+                      topologies=["fattree", "vl2"],
+                      algorithms=["lia", "dts", "dts-ext"],
+                      n_subflows=8, duration=20.0, seeds=[1, 2])
+
+    print("\nFig. 16 — aggregate goodput (Gbps):")
+    for r in result.fig15.rows:
+        print(f"  {r.topology:8s} {r.algorithm:8s} "
+              f"{r.aggregate_goodput_bps/1e9:6.2f}")
+
+    for topo in ("fattree", "vl2"):
+        ratio = result.throughput_ratio(topo, candidate="dts")
+        assert 0.9 < ratio < 1.15
+        ratio_ext = result.throughput_ratio(topo, candidate="dts-ext")
+        assert 0.85 < ratio_ext < 1.15

@@ -1,0 +1,27 @@
+"""Fig. 17 — heterogeneous wireless (WiFi + 4G): DTS vs LIA.
+
+Paper's claims: DTS saves up to 30% energy vs LIA in the ns-2 WiFi+4G
+scenario, and there is a visible energy/throughput tradeoff.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig17_wireless
+
+
+def test_fig17_wireless_dts_saves_energy(benchmark):
+    result = run_once(benchmark, fig17_wireless.run, duration=60.0,
+                      seeds=[1, 2, 3])
+
+    print("\nFig. 17 — WiFi+4G, 60 s runs:")
+    for r in result.rows:
+        print(f"  {r.algorithm:8s} goodput={r.goodput_bps/1e6:5.2f} Mbps "
+              f"energy={r.energy_j:6.1f} J power={r.mean_power_w:5.2f} W")
+    print(f"  dts saving: mean {100*result.energy_saving():.1f}%, "
+          f"best {100*result.best_case_saving():.1f}%")
+
+    # DTS saves energy vs LIA (mean > 3%, best case deep double digits).
+    assert result.energy_saving() > 0.03
+    assert result.best_case_saving() > 0.10
+    # The throughput tradeoff: DTS at or slightly below LIA, never above 110%.
+    assert 0.85 < result.throughput_ratio() < 1.10

@@ -1,0 +1,16 @@
+"""Shared benchmark plumbing.
+
+Each ``bench_figXX`` module regenerates one figure of the paper: it runs
+the corresponding ``repro.experiments`` module (scaled-down parameters),
+asserts the paper's qualitative claim, and prints the figure's rows.
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+regenerated tables).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

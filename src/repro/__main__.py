@@ -1,0 +1,7 @@
+"""``python -m repro`` — regenerate the paper's figures (see repro.cli)."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

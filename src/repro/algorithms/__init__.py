@@ -1,0 +1,95 @@
+"""Congestion-control algorithms: kernel baselines plus the paper's DTS.
+
+Every algorithm exists in two coordinated forms:
+
+1. a packet-level per-ACK controller in this subpackage (used by
+   :mod:`repro.net`), and
+2. a vectorized fluid decomposition (``psi/beta/phi`` of Eq. 3) in
+   :mod:`repro.core.model` (used by :mod:`repro.fluidsim`).
+
+Use :func:`create_controller` to instantiate by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.balia import BaliaController
+from repro.algorithms.base import MIN_CWND, CongestionController
+from repro.algorithms.coupled import CoupledController
+from repro.algorithms.dctcp import DctcpController
+from repro.algorithms.dts import DtsController, ExtendedDtsController
+from repro.algorithms.dwc import DwcController
+from repro.algorithms.ecmtcp import EcmtcpController
+from repro.algorithms.ewtcp import EwtcpController
+from repro.algorithms.lia import LiaController
+from repro.algorithms.olia import OliaController
+from repro.algorithms.reno import RenoController
+from repro.algorithms.wvegas import WvegasController
+from repro.errors import AlgorithmError
+
+_REGISTRY: Dict[str, Callable[..., CongestionController]] = {
+    "reno": RenoController,
+    "ewtcp": EwtcpController,
+    "coupled": CoupledController,
+    "lia": LiaController,
+    "olia": OliaController,
+    "balia": BaliaController,
+    "ecmtcp": EcmtcpController,
+    "wvegas": WvegasController,
+    "dctcp": DctcpController,
+    "dts": DtsController,
+    "dts-ext": ExtendedDtsController,
+    "dwc": DwcController,
+}
+
+_ALIASES = {
+    "tcp": "reno",
+    "newreno": "reno",
+    "mptcp": "lia",
+    "dts_ext": "dts-ext",
+    "edts": "dts-ext",
+    "extended-dts": "dts-ext",
+}
+
+
+def algorithm_names() -> List[str]:
+    """Canonical registry names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_controller(name: str, **kwargs) -> CongestionController:
+    """Instantiate a congestion controller by (case-insensitive) name.
+
+    Extra keyword arguments are forwarded to the controller constructor,
+    e.g. ``create_controller("dts-ext", kappa=1e-4)``.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; known: {', '.join(algorithm_names())}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "MIN_CWND",
+    "BaliaController",
+    "CongestionController",
+    "CoupledController",
+    "DctcpController",
+    "DtsController",
+    "DwcController",
+    "EcmtcpController",
+    "EwtcpController",
+    "ExtendedDtsController",
+    "LiaController",
+    "OliaController",
+    "RenoController",
+    "WvegasController",
+    "algorithm_names",
+    "create_controller",
+]

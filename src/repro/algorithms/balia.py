@@ -1,0 +1,42 @@
+"""Balia — Balanced Linked Adaptation (Peng, Walid, Hwang & Low).
+
+Section IV decomposition (with ``alpha_r = max_k x_k / x_r``):
+
+    psi_r = 2/5 + alpha_r/2 + alpha_r^2/10 = ((1+alpha_r)/2) ((4+alpha_r)/5)
+
+Per-ACK increase ``psi_r * w_r / (RTT_r^2 (sum_k x_k)^2)``; on loss the
+window is cut by ``w_r/2 * min(alpha_r, 3/2)``, Balia's balanced decrease
+that keeps the algorithm responsive without LIA's unfriendliness.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.algorithms.base import MIN_CWND, CongestionController
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.flow import TcpSender
+
+
+class BaliaController(CongestionController):
+    """Balanced linked adaptation increase/decrease."""
+
+    name: ClassVar[str] = "balia"
+
+    def _alpha(self, sf: "TcpSender") -> float:
+        x_r = sf.cwnd / sf.rtt
+        return self.max_rate() / x_r
+
+    def psi(self, sf: "TcpSender") -> float:
+        """The traffic-shifting parameter psi_r at the current state."""
+        a = self._alpha(sf)
+        return ((1 + a) / 2) * ((4 + a) / 5)
+
+    def on_ack(self, sf: "TcpSender") -> None:
+        total_rate = self.total_rate()
+        sf.cwnd += self.psi(sf) * sf.cwnd / (sf.rtt * sf.rtt * total_rate * total_rate)
+
+    def on_loss(self, sf: "TcpSender") -> None:
+        a = self._alpha(sf)
+        sf.cwnd = max(MIN_CWND, sf.cwnd - (sf.cwnd / 2) * min(a, 1.5))

@@ -1,0 +1,76 @@
+"""DCTCP (Alizadeh et al., SIGCOMM'10), the single-path datacenter baseline
+of the paper's EC2 experiment (Fig. 10).
+
+Standard behaviour: switches mark instead of dropping once their queue
+exceeds K; the sender keeps an EWMA ``alpha`` of the marked fraction per
+window of data and cuts the window by ``alpha/2`` at most once per window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Dict
+
+from repro.algorithms.base import MIN_CWND, CongestionController
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.flow import TcpSender
+
+#: EWMA gain g for the marked-fraction estimator (the paper's 1/16).
+ALPHA_GAIN = 1.0 / 16.0
+
+
+class _DctcpState:
+    __slots__ = ("alpha", "acks", "marked", "window_acks_target", "cut_this_window")
+
+    def __init__(self) -> None:
+        self.alpha = 0.0
+        self.acks = 0
+        self.marked = 0
+        self.window_acks_target = 10.0
+        self.cut_this_window = False
+
+
+class DctcpController(CongestionController):
+    """ECN-proportional decrease, Reno increase. Single-path by design but
+    runs uncoupled on each subflow if attached to several."""
+
+    name: ClassVar[str] = "dctcp"
+    ecn_capable: ClassVar[bool] = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state: Dict[int, _DctcpState] = {}
+
+    def attach(self, subflows) -> None:
+        super().attach(subflows)
+        self._state = {id(s): _DctcpState() for s in subflows}
+
+    def alpha(self, sf: "TcpSender") -> float:
+        """Current smoothed marked fraction for ``sf``."""
+        return self._state[id(sf)].alpha
+
+    def on_ack(self, sf: "TcpSender") -> None:
+        state = self._state[id(sf)]
+        state.acks += 1
+        if state.acks >= state.window_acks_target:
+            fraction = state.marked / max(state.acks, 1)
+            state.alpha = (1 - ALPHA_GAIN) * state.alpha + ALPHA_GAIN * fraction
+            state.acks = 0
+            state.marked = 0
+            state.cut_this_window = False
+            state.window_acks_target = max(1.0, sf.cwnd)
+        sf.cwnd += 1.0 / sf.cwnd
+
+    def on_ecn(self, sf: "TcpSender") -> None:
+        state = self._state[id(sf)]
+        state.marked += 1
+        if not state.cut_this_window:
+            state.cut_this_window = True
+            # Use the freshest estimate including this window's marks so the
+            # very first marks still produce a cut.
+            fraction = state.marked / max(state.acks, 1)
+            alpha = max(state.alpha, ALPHA_GAIN * fraction)
+            sf.cwnd = max(MIN_CWND, sf.cwnd * (1 - alpha / 2))
+
+    def on_loss(self, sf: "TcpSender") -> None:
+        sf.cwnd = max(MIN_CWND, sf.cwnd / 2)

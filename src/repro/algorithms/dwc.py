@@ -1,0 +1,170 @@
+"""DWC — Dynamic Window Coupling (Hassayoun, Iyengar & Ros, ICNP 2011).
+
+The remaining algorithm of the paper's Section IV: its ``lambda_r`` is "a
+delay condition used for DWC". DWC detects which subflows share a
+bottleneck by correlating their congestion events in time, then couples
+windows *within* each bottleneck group only:
+
+- subflows alone in their group run plain Reno (full throughput on
+  disjoint paths — the gain LIA forfeits);
+- subflows sharing a group run a LIA-style linked increase over the group
+  (TCP-friendliness on the shared bottleneck).
+
+Congestion events are loss events plus a delay condition (an RTT sample
+crossing ``baseRTT * (1 + delay_threshold)``, rate-limited to once per
+RTT). Two subflows whose events land within ``correlation_window`` seconds
+are declared to share a bottleneck; a subflow that stays quiet relative to
+its group for ``separation_timeout`` seconds is split back out.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Dict, Optional
+
+from repro.algorithms.base import MIN_CWND, CongestionController
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.flow import TcpSender
+
+
+class _SubflowState:
+    __slots__ = ("group", "last_event", "last_delay_event")
+
+    def __init__(self, group: int):
+        self.group = group
+        self.last_event = float("-inf")
+        self.last_delay_event = float("-inf")
+
+
+class DwcController(CongestionController):
+    """Shared-bottleneck-aware coupling."""
+
+    name: ClassVar[str] = "dwc"
+
+    def __init__(
+        self,
+        *,
+        correlation_window: float = 0.05,
+        separation_timeout: float = 3.0,
+        delay_threshold: float = 0.5,
+        merge_confirmations: int = 3,
+        correlation_memory: float = 5.0,
+    ):
+        super().__init__()
+        self.correlation_window = correlation_window
+        self.separation_timeout = separation_timeout
+        self.delay_threshold = delay_threshold
+        #: Independent paths occasionally lose packets near-simultaneously
+        #: by chance; require this many correlated event pairs (within
+        #: ``correlation_memory`` seconds) before declaring a shared
+        #: bottleneck.
+        self.merge_confirmations = merge_confirmations
+        self.correlation_memory = correlation_memory
+        self._state: Dict[int, _SubflowState] = {}
+        self._corr_count: Dict[tuple, int] = {}
+        self._corr_last: Dict[tuple, float] = {}
+        self._next_group = 0
+
+    def attach(self, subflows) -> None:
+        super().attach(subflows)
+        self._state = {}
+        for s in subflows:
+            self._state[id(s)] = _SubflowState(self._next_group)
+            self._next_group += 1
+
+    # ------------------------------------------------------------- grouping
+
+    def group_of(self, sf: "TcpSender") -> int:
+        """Current bottleneck-group id of ``sf``."""
+        return self._state[id(sf)].group
+
+    def group_members(self, sf: "TcpSender"):
+        """All subflows currently sharing ``sf``'s group."""
+        gid = self.group_of(sf)
+        return [s for s in self.subflows if self._state[id(s)].group == gid]
+
+    def _note_congestion(self, sf: "TcpSender", now: float) -> None:
+        state = self._state[id(sf)]
+        state.last_event = now
+        # Correlated events vote for a shared bottleneck; merge only after
+        # enough confirmations within the correlation memory.
+        for other in self.subflows:
+            if other is sf:
+                continue
+            ostate = self._state[id(other)]
+            if now - ostate.last_event <= self.correlation_window:
+                key = (min(id(sf), id(other)), max(id(sf), id(other)))
+                if now - self._corr_last.get(key, float("-inf")) > self.correlation_memory:
+                    self._corr_count[key] = 0
+                self._corr_count[key] = self._corr_count.get(key, 0) + 1
+                self._corr_last[key] = now
+                if self._corr_count[key] >= self.merge_confirmations:
+                    target = min(state.group, ostate.group)
+                    self._merge_groups(state.group, target)
+                    self._merge_groups(ostate.group, target)
+
+    def _merge_groups(self, src: int, dst: int) -> None:
+        if src == dst:
+            return
+        for st in self._state.values():
+            if st.group == src:
+                st.group = dst
+
+    def _maybe_separate(self, sf: "TcpSender", now: float) -> None:
+        """Split ``sf`` out of its group if it has seen no shared
+        congestion for a long time while group mates have."""
+        state = self._state[id(sf)]
+        mates = [s for s in self.group_members(sf) if s is not sf]
+        if not mates:
+            return
+        newest_mate_event = max(self._state[id(m)].last_event for m in mates)
+        # Correlations with every group mate gone stale => the merge was
+        # spurious (or the paths re-routed): split back out.
+        stale_correlation = all(
+            now - self._corr_last.get(
+                (min(id(sf), id(m)), max(id(sf), id(m))), float("-inf")
+            ) > self.separation_timeout
+            for m in mates
+        )
+        if (
+            newest_mate_event - state.last_event > self.separation_timeout
+            or now - state.last_event > 2 * self.separation_timeout
+            or stale_correlation
+        ):
+            state.group = self._next_group
+            self._next_group += 1
+            # The old evidence is void: re-merging needs fresh confirmations.
+            for m in mates:
+                key = (min(id(sf), id(m)), max(id(sf), id(m)))
+                self._corr_count[key] = 0
+
+    # ------------------------------------------------------------ callbacks
+
+    def on_rtt(self, sf: "TcpSender", sample: float) -> None:
+        if sf.base_rtt == float("inf"):
+            return
+        state = self._state[id(sf)]
+        now = sf.sim.now
+        threshold = sf.base_rtt * (1.0 + self.delay_threshold)
+        if sample > threshold and now - state.last_delay_event > sf.rtt:
+            state.last_delay_event = now
+            self._note_congestion(sf, now)
+
+    def on_ack(self, sf: "TcpSender") -> None:
+        members = self.group_members(sf)
+        if len(members) == 1:
+            sf.cwnd += 1.0 / sf.cwnd  # uncoupled Reno on a private path
+            return
+        # LIA-style linked increase over the bottleneck group.
+        best = max(s.cwnd / (s.rtt * s.rtt) for s in members)
+        total_rate = sum(s.cwnd / s.rtt for s in members)
+        coupled = best / (total_rate * total_rate)
+        sf.cwnd += min(coupled, 1.0 / sf.cwnd)
+        self._maybe_separate(sf, sf.sim.now)
+
+    def on_loss(self, sf: "TcpSender") -> None:
+        self._note_congestion(sf, sf.sim.now)
+        sf.cwnd = max(MIN_CWND, sf.cwnd / 2)
+
+    def on_timeout(self, sf: "TcpSender") -> None:
+        self._note_congestion(sf, sf.sim.now)

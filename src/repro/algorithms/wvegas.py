@@ -1,0 +1,75 @@
+"""wVegas (Cao, Xu & Fu, ICNP'12): weighted Vegas, delay-based coupling.
+
+The one algorithm in Section IV with step size ``delta = 1`` (one update per
+RTT rather than per ACK) and a delay-based congestion signal
+``q_r = RTT_r - baseRTT_r`` instead of loss. Each subflow keeps its backlog
+``diff_r = w_r * q_r / RTT_r`` (segments queued in the network) near a
+per-path target ``alpha_r``; the targets are adapted so each path's share of
+the total target tracks its share of the achieved rate, which is what shifts
+traffic toward uncongested paths.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Dict
+
+from repro.algorithms.base import MIN_CWND, CongestionController
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.flow import TcpSender
+
+#: Total backlog target across all subflows, in segments (Vegas' alpha,
+#: scaled for a multipath connection).
+TOTAL_ALPHA = 10.0
+
+
+class WvegasController(CongestionController):
+    """Per-RTT delay-based window adaptation with adaptive per-path targets."""
+
+    name: ClassVar[str] = "wvegas"
+
+    def __init__(self, total_alpha: float = TOTAL_ALPHA) -> None:
+        super().__init__()
+        self.total_alpha = total_alpha
+        self._acks_in_round: Dict[int, int] = {}
+        self._alpha: Dict[int, float] = {}
+
+    def attach(self, subflows) -> None:
+        super().attach(subflows)
+        n = len(subflows)
+        self._acks_in_round = {id(s): 0 for s in subflows}
+        self._alpha = {id(s): self.total_alpha / n for s in subflows}
+
+    def alpha(self, sf: "TcpSender") -> float:
+        """Current backlog target for ``sf``, in segments."""
+        return self._alpha[id(sf)]
+
+    def _update_targets(self) -> None:
+        total_rate = self.total_rate()
+        if total_rate <= 0:
+            return
+        for s in self.subflows:
+            share = (s.cwnd / s.rtt) / total_rate
+            self._alpha[id(s)] = max(1.0, self.total_alpha * share)
+
+    def on_ack(self, sf: "TcpSender") -> None:
+        key = id(sf)
+        self._acks_in_round[key] += 1
+        if self._acks_in_round[key] < sf.cwnd:
+            return
+        # One window's worth of ACKs = one RTT round: run the Vegas step.
+        self._acks_in_round[key] = 0
+        rtt = sf.rtt
+        base = sf.base_rtt if sf.base_rtt != float("inf") else rtt
+        queueing = max(0.0, rtt - base)
+        diff = sf.cwnd * queueing / rtt
+        self._update_targets()
+        target = self._alpha[key]
+        if diff < target:
+            sf.cwnd += 1.0
+        elif diff > target:
+            sf.cwnd = max(MIN_CWND, sf.cwnd - 1.0)
+
+    def on_loss(self, sf: "TcpSender") -> None:
+        self._acks_in_round[id(sf)] = 0
+        sf.cwnd = max(MIN_CWND, sf.cwnd / 2)

@@ -1,0 +1,22 @@
+"""Result analysis: box-whisker stats, time series, reports, comparisons."""
+
+from repro.analysis.compare import crossover_points, relative_saving
+from repro.analysis.fairness import friendliness_ratio, jain_index, share_summary
+from repro.analysis.report import format_series, format_table
+from repro.analysis.stats import BoxStats, box_stats, summarize
+from repro.analysis.timeseries import bin_series, moving_average
+
+__all__ = [
+    "BoxStats",
+    "bin_series",
+    "box_stats",
+    "crossover_points",
+    "format_series",
+    "friendliness_ratio",
+    "jain_index",
+    "share_summary",
+    "format_table",
+    "moving_average",
+    "relative_saving",
+    "summarize",
+]

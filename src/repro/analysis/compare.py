@@ -1,0 +1,42 @@
+"""Comparison helpers: savings percentages and series crossovers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def relative_saving(baseline: float, candidate: float) -> float:
+    """Fractional saving of ``candidate`` relative to ``baseline``.
+
+    Positive means the candidate consumes less (e.g. 0.2 = 20% saving, the
+    paper's headline DTS-vs-LIA number).
+    """
+    if baseline <= 0:
+        raise ConfigurationError(f"baseline must be positive, got {baseline}")
+    return (baseline - candidate) / baseline
+
+
+def crossover_points(
+    xs: Sequence[float], a: Sequence[float], b: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """x positions where series ``a`` and ``b`` cross (linear interpolation).
+
+    Returns (x, y) pairs; useful to check "where does MPTCP start beating
+    TCP"-style claims.
+    """
+    if not (len(xs) == len(a) == len(b)):
+        raise ConfigurationError("xs, a, b must have equal length")
+    out: List[Tuple[float, float]] = []
+    for i in range(1, len(xs)):
+        d0 = a[i - 1] - b[i - 1]
+        d1 = a[i] - b[i]
+        if d0 == 0:
+            out.append((xs[i - 1], a[i - 1]))
+        elif d0 * d1 < 0:
+            t = d0 / (d0 - d1)
+            x = xs[i - 1] + t * (xs[i] - xs[i - 1])
+            y = a[i - 1] + t * (a[i] - a[i - 1])
+            out.append((x, y))
+    return out

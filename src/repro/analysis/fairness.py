@@ -1,0 +1,49 @@
+"""Fairness metrics: Jain's index and bandwidth-share summaries.
+
+TCP-friendliness — Condition 1 of the paper — is ultimately a fairness
+statement; these metrics quantify it for simulation outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1.0 means perfectly equal shares; 1/n means one flow holds everything.
+    """
+    x = np.asarray(list(allocations), dtype=float)
+    if x.size == 0:
+        raise ConfigurationError("jain_index needs at least one allocation")
+    if np.any(x < 0):
+        raise ConfigurationError("allocations must be non-negative")
+    total = float(np.sum(x))
+    if total == 0:
+        return 1.0  # nobody got anything: vacuously fair
+    return total * total / (len(x) * float(np.sum(x * x)))
+
+
+def share_summary(allocations: Dict[str, float]) -> Dict[str, float]:
+    """Per-name fraction of the total allocation."""
+    total = sum(allocations.values())
+    if total <= 0:
+        raise ConfigurationError("total allocation must be positive")
+    return {name: value / total for name, value in allocations.items()}
+
+
+def friendliness_ratio(mptcp_bps: float, tcp_mean_bps: float) -> float:
+    """MPTCP aggregate over the mean competing-TCP goodput.
+
+    RFC 6356's goals bound this near the number of *bottlenecks* MPTCP
+    spans (not the number of subflows); an uncoupled bundle of n subflows
+    on one bottleneck drives it toward n.
+    """
+    if tcp_mean_bps <= 0:
+        raise ConfigurationError("tcp goodput must be positive")
+    return mptcp_bps / tcp_mean_bps

@@ -1,0 +1,80 @@
+"""Box-whisker statistics matching the paper's Fig. 6 convention.
+
+The paper plots "minimum, 25th percentile Q1, median, 75th percentile Q3,
+and maximum, as well as the outliers out of the range between
+Q1 - 1.5*(Q3-Q1) and Q3 + 1.5*(Q3-Q1)" — i.e. Tukey boxes. The whiskers
+here are the most extreme samples *inside* the Tukey fences; anything
+outside is an outlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class BoxStats:
+    """Five-number summary plus Tukey outliers."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    outliers: List[float]
+    mean: float
+    n: int
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range Q3 - Q1."""
+        return self.q3 - self.q1
+
+
+def box_stats(samples: Sequence[float]) -> BoxStats:
+    """Compute the paper's box-whisker summary for a sample set."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("box_stats needs at least one sample")
+    q1, med, q3 = np.percentile(data, [25, 50, 75])
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = data[(data >= low_fence) & (data <= high_fence)]
+    outliers = data[(data < low_fence) | (data > high_fence)]
+    whisk_lo = float(np.min(inside)) if inside.size else float(np.min(data))
+    whisk_hi = float(np.max(inside)) if inside.size else float(np.max(data))
+    return BoxStats(
+        minimum=float(np.min(data)),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(np.max(data)),
+        whisker_low=whisk_lo,
+        whisker_high=whisk_hi,
+        outliers=[float(v) for v in np.sort(outliers)],
+        mean=float(np.mean(data)),
+        n=int(data.size),
+    )
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Flat dict summary (mean/median/std/min/max) for report tables."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("summarize needs at least one sample")
+    return {
+        "mean": float(np.mean(data)),
+        "median": float(np.median(data)),
+        "std": float(np.std(data)),
+        "min": float(np.min(data)),
+        "max": float(np.max(data)),
+        "n": int(data.size),
+    }

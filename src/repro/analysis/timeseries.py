@@ -1,0 +1,48 @@
+"""Time-series utilities for trace figures (Fig. 8's LIA vs DTS traces)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def bin_series(
+    times: Sequence[float],
+    values: Sequence[float],
+    bin_width: float,
+) -> Tuple[List[float], List[float]]:
+    """Average ``values`` into fixed-width time bins; returns (centres, means)."""
+    if bin_width <= 0:
+        raise ConfigurationError(f"bin_width must be positive, got {bin_width}")
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape:
+        raise ConfigurationError("times and values must align")
+    if t.size == 0:
+        return [], []
+    edges = np.arange(t.min(), t.max() + bin_width, bin_width)
+    idx = np.digitize(t, edges) - 1
+    centres: List[float] = []
+    means: List[float] = []
+    for b in range(len(edges) - 1):
+        mask = idx == b
+        if np.any(mask):
+            centres.append(float(edges[b] + bin_width / 2))
+            means.append(float(np.mean(v[mask])))
+    return centres, means
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Centered-start moving average (shorter warm-up windows included)."""
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    v = np.asarray(values, dtype=float)
+    out: List[float] = []
+    csum = np.concatenate([[0.0], np.cumsum(v)])
+    for i in range(len(v)):
+        lo = max(0, i - window + 1)
+        out.append(float((csum[i + 1] - csum[lo]) / (i + 1 - lo)))
+    return out

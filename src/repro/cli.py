@@ -1,0 +1,113 @@
+"""Command-line interface: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro list                 # show available figures
+    python -m repro fig09                # regenerate one figure
+    python -m repro fig12 fig13 fig14    # several in sequence
+    python -m repro all                  # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro import __version__
+
+
+def _figure_runners() -> Dict[str, Callable[[], None]]:
+    from repro.experiments import (
+        fig01_power_vs_subflows,
+        fig02_mobile_power,
+        fig03_energy_vs_throughput,
+        fig04_power_vs_delay,
+        fig06_shared_bottleneck,
+        fig07_traffic_shifting,
+        fig08_trace,
+        fig09_dts_testbed,
+        fig10_ec2,
+        fig12_14_subflows,
+        fig15_phi,
+        fig16_dc_throughput,
+        fig17_wireless,
+    )
+
+    return {
+        "fig01": fig01_power_vs_subflows.main,
+        "fig02": fig02_mobile_power.main,
+        "fig03": fig03_energy_vs_throughput.main,
+        "fig04": fig04_power_vs_delay.main,
+        "fig06": fig06_shared_bottleneck.main,
+        "fig07": fig07_traffic_shifting.main,
+        "fig08": fig08_trace.main,
+        "fig09": fig09_dts_testbed.main,
+        "fig10": fig10_ec2.main,
+        "fig12": lambda: _print_sweep(fig12_14_subflows.run_fig12()),
+        "fig13": lambda: _print_sweep(fig12_14_subflows.run_fig13()),
+        "fig14": lambda: _print_sweep(fig12_14_subflows.run_fig14()),
+        "fig15": fig15_phi.main,
+        "fig16": fig16_dc_throughput.main,
+        "fig17": fig17_wireless.main,
+    }
+
+
+def _print_sweep(result) -> None:
+    from repro.analysis.report import format_table
+
+    print(f"topology: {result.topology}")
+    print(format_table(
+        ["subflows", "J per GB", "goodput (Gbps)"],
+        [[p.n_subflows, p.energy_per_gb, p.aggregate_goodput_bps / 1e9]
+         for p in result.points],
+    ))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate figures from 'On Energy-Efficient Congestion "
+            "Control for Multipath TCP' (ICDCS 2017)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        metavar="FIGURE",
+        help="figure ids (fig01 ... fig17), 'list', or 'all'",
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    runners = _figure_runners()
+
+    if "list" in args.targets:
+        print("available figures:")
+        for name in sorted(runners):
+            print(f"  {name}")
+        return 0
+
+    targets = sorted(runners) if "all" in args.targets else args.targets
+    unknown = [t for t in targets if t not in runners]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(runners))}", file=sys.stderr)
+        return 2
+
+    for name in targets:
+        print(f"=== {name} " + "=" * (60 - len(name)))
+        start = time.time()
+        runners[name]()
+        print(f"--- {name} done in {time.time() - start:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

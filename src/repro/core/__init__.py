@@ -1,0 +1,79 @@
+"""Analytical core: the paper's congestion-control model and DTS design.
+
+- :mod:`repro.core.model` -- Eq. (3) and the Section IV decompositions;
+- :mod:`repro.core.conditions` -- Condition 1 (TCP-friendliness) and
+  Condition 2 (Pareto-optimality) checkers;
+- :mod:`repro.core.dts` -- the Eq. (5) DTS factor and Algorithm 1's
+  fixed-point evaluation;
+- :mod:`repro.core.energy_price` -- the Eq. (6)-(9) energy price;
+- :mod:`repro.core.equilibrium` -- numeric equilibria of the model.
+"""
+
+from repro.core.conditions import (
+    Condition1Report,
+    aggregate_equilibrium_throughput,
+    check_condition1,
+    condition2_asymmetry,
+    is_pareto_optimal_candidate,
+    reno_equilibrium_throughput,
+)
+from repro.core.dts import (
+    DtsFactorConfig,
+    epsilon_exact,
+    epsilon_taylor,
+    rtt_ratio,
+    taylor_absolute_error,
+)
+from repro.core.energy_price import (
+    EnergyPriceConfig,
+    per_ack_window_drain,
+    phi,
+    price_gradient,
+    utility_ep,
+)
+from repro.core.equilibrium import reno_window, solve_equilibrium
+from repro.core.trajectories import (
+    Trajectory,
+    constant,
+    integrate_model,
+    responsiveness,
+    step,
+)
+from repro.core.model import (
+    CongestionModel,
+    ModelState,
+    decomposition,
+    decompositions,
+    make_psi_dts,
+)
+
+__all__ = [
+    "Condition1Report",
+    "CongestionModel",
+    "DtsFactorConfig",
+    "EnergyPriceConfig",
+    "ModelState",
+    "aggregate_equilibrium_throughput",
+    "check_condition1",
+    "condition2_asymmetry",
+    "decomposition",
+    "decompositions",
+    "epsilon_exact",
+    "epsilon_taylor",
+    "is_pareto_optimal_candidate",
+    "make_psi_dts",
+    "per_ack_window_drain",
+    "phi",
+    "price_gradient",
+    "reno_equilibrium_throughput",
+    "reno_window",
+    "rtt_ratio",
+    "solve_equilibrium",
+    "step",
+    "taylor_absolute_error",
+    "utility_ep",
+    "Trajectory",
+    "constant",
+    "integrate_model",
+    "responsiveness",
+]

@@ -1,0 +1,141 @@
+"""Condition 1 (TCP-friendliness) and Condition 2 (Pareto-optimality).
+
+**Condition 1** (Section V.A): at equilibrium, on the best path
+``h = argmax_k x_k*``, a loss-based algorithm must have ``psi_h <= 1``,
+``beta_h = 1/2`` and ``phi_h = 0``. Then its aggregate throughput
+``sqrt(2 psi_h / lambda_h)/RTT_h`` never exceeds what a single Reno flow
+would take on the best path, ``sqrt(2/lambda_h)/RTT_h``.
+
+**Condition 2** (Pareto-optimality): there must exist a concave utility
+``U_s`` with ``theta_r(x*) dU/dx_r = psi_r x_r^2/(RTT_r^2 (sum x)^2)`` at
+the maximizer of the aggregate-utility problem (Eq. 4). A necessary
+condition for such a utility to exist is that the scaled increase field
+
+    g_r(x) = psi_r(x) x_r^2 / (theta_r(x) RTT_r^2 (sum_k x_k)^2)
+
+is a gradient field, i.e. its Jacobian is symmetric. We check that
+numerically: :func:`condition2_asymmetry` measures ``max |J - J^T|``
+(relative) — zero (to tolerance) for Pareto-optimal designs such as OLIA
+(psi = 1, theta = x^2, equal RTTs), visibly non-zero for LIA, which is
+exactly the paper's point that LIA is not Pareto-optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.model import CongestionModel, ModelState
+from repro.errors import ModelError
+
+_EPS = 1e-12
+
+
+@dataclass
+class Condition1Report:
+    """Outcome of the Condition 1 check at a given equilibrium state."""
+
+    psi_on_best_path: float
+    beta_on_best_path: float
+    phi_on_best_path: float
+    satisfied: bool
+    #: Ratio of the algorithm's aggregate equilibrium throughput to a
+    #: single Reno flow's throughput on the best path (<= 1 is friendly).
+    throughput_ratio: float
+
+
+def check_condition1(
+    model: CongestionModel,
+    state: ModelState,
+    *,
+    tolerance: float = 1e-6,
+) -> Condition1Report:
+    """Evaluate Condition 1 at an (assumed equilibrium) state."""
+    x = state.x
+    h = int(np.argmax(x))
+    psi = float(model.psi(state)[h])
+    beta = float(model.beta(state)[h])
+    phi = float(model.phi(state)[h])
+    satisfied = (
+        psi <= 1.0 + tolerance
+        and abs(beta - 0.5) <= tolerance
+        and abs(phi) <= tolerance
+    )
+    # sqrt(2 psi / lambda)/RTT vs sqrt(2/lambda)/RTT: the lambda and RTT
+    # cancel, leaving sqrt(psi).
+    ratio = float(np.sqrt(max(psi, 0.0)))
+    return Condition1Report(psi, beta, phi, satisfied, ratio)
+
+
+def aggregate_equilibrium_throughput(
+    model: CongestionModel, state: ModelState, loss_on_best: float
+) -> float:
+    """The model's aggregate equilibrium throughput sqrt(2 psi_h/lambda_h)/RTT_h
+    (segments/second), per the Condition 1 derivation."""
+    if loss_on_best <= 0:
+        raise ModelError(f"loss rate must be positive, got {loss_on_best}")
+    x = state.x
+    h = int(np.argmax(x))
+    psi_h = float(model.psi(state)[h])
+    return float(np.sqrt(2.0 * max(psi_h, 0.0) / loss_on_best) / state.rtt[h])
+
+
+def reno_equilibrium_throughput(rtt: float, loss: float) -> float:
+    """Single-path Reno equilibrium sqrt(2/lambda)/RTT (segments/second)."""
+    if loss <= 0 or rtt <= 0:
+        raise ModelError("loss and rtt must be positive")
+    return float(np.sqrt(2.0 / loss) / rtt)
+
+
+def _default_theta(state: ModelState) -> np.ndarray:
+    """theta_r = x_r^2, the step-size function of the delta = 0 algorithms."""
+    return state.x**2
+
+
+def condition2_asymmetry(
+    model: CongestionModel,
+    state: ModelState,
+    *,
+    theta: Optional[Callable[[ModelState], np.ndarray]] = None,
+    rel_step: float = 1e-6,
+) -> float:
+    """Relative asymmetry of the Jacobian of the scaled increase field.
+
+    Returns ``max_ij |J_ij - J_ji| / max_ij |J_ij|``; near zero means a
+    potential (utility) function exists locally, the necessary part of
+    Condition 2.
+    """
+    theta_fn = theta if theta is not None else _default_theta
+
+    def g(w_vec: np.ndarray) -> np.ndarray:
+        st = ModelState(w=w_vec, rtt=state.rtt, base_rtt=state.base_rtt)
+        return model.increase_rate(st) / np.maximum(theta_fn(st), _EPS)
+
+    n = state.n_paths
+    jac = np.zeros((n, n))
+    base_w = state.w.astype(float)
+    g0 = g(base_w)
+    for j in range(n):
+        # Differentiate with respect to x_j; perturb w_j = x_j * rtt_j.
+        h = rel_step * max(base_w[j], 1.0)
+        w_pert = base_w.copy()
+        w_pert[j] += h
+        dx_j = h / state.rtt[j]
+        jac[:, j] = (g(w_pert) - g0) / dx_j
+    scale = np.max(np.abs(jac))
+    if scale <= 0:
+        return 0.0
+    return float(np.max(np.abs(jac - jac.T)) / scale)
+
+
+def is_pareto_optimal_candidate(
+    model: CongestionModel,
+    state: ModelState,
+    *,
+    threshold: float = 1e-3,
+) -> bool:
+    """Whether the necessary (gradient-field) part of Condition 2 holds at
+    ``state`` with the standard theta = x^2."""
+    return condition2_asymmetry(model, state) <= threshold

@@ -1,0 +1,125 @@
+"""The Delay-based Traffic Shifting (DTS) factor — Eq. (5) and Algorithm 1.
+
+The paper's central design element: a sigmoid of the path-quality ratio
+``baseRTT_r / RTT_r`` that scales the window-increase aggressiveness,
+
+    eps_r = 2 / (1 + exp(-10 (baseRTT_r/RTT_r - 1/2)))            (Eq. 5)
+
+so that an uncongested path (ratio -> 1) gets eps -> ~2/(1+e^-5) ~ 1.99
+(aggressive growth), while a path whose RTT has inflated far above its
+propagation floor (ratio -> 0) gets eps -> ~2/(1+e^5) ~ 0.013 (window
+growth effectively frozen, shifting traffic away). The paper chooses the
+centre 1/2 because the ratio's "expectation is 1/2", making ``psi = c*eps``
+with ``c = 1`` satisfy the TCP-friendliness condition in expectation.
+
+Algorithm 1 implements the exponential with integer arithmetic (a
+third-order Taylor expansion scaled by 100) because the Linux kernel cannot
+use floating point; :func:`epsilon_taylor` reproduces that fixed-point
+computation, including its divergence from the true sigmoid at extreme
+ratios, which the ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class DtsFactorConfig:
+    """Tunable form of the DTS factor, for ablations.
+
+    The paper's published constants are ``slope=10``, ``center=0.5``,
+    ``ceiling=2.0`` and the exact exponential.
+    """
+
+    slope: float = 10.0
+    center: float = 0.5
+    ceiling: float = 2.0
+    use_taylor: bool = False
+
+    def __post_init__(self) -> None:
+        if self.slope <= 0:
+            raise ModelError(f"slope must be positive, got {self.slope}")
+        if self.ceiling <= 0:
+            raise ModelError(f"ceiling must be positive, got {self.ceiling}")
+
+    def epsilon(self, base_rtt: float, rtt: float) -> float:
+        """Evaluate the factor for one path."""
+        if self.use_taylor:
+            return epsilon_taylor(base_rtt, rtt, slope=self.slope, center=self.center,
+                                  ceiling=self.ceiling)
+        return epsilon_exact(base_rtt, rtt, slope=self.slope, center=self.center,
+                             ceiling=self.ceiling)
+
+
+def rtt_ratio(base_rtt: float, rtt: float) -> float:
+    """The path-quality ratio baseRTT/RTT, clamped to (0, 1].
+
+    ``baseRTT`` is the minimum RTT observed on the path; the ratio is 1 on
+    an idle path and falls toward 0 as queueing inflates the RTT.
+    """
+    if rtt <= 0:
+        raise ModelError(f"RTT must be positive, got {rtt}")
+    if base_rtt <= 0 or math.isinf(base_rtt):
+        # No valid sample yet: treat the path as unqueued.
+        return 1.0
+    return min(1.0, base_rtt / rtt)
+
+
+def epsilon_exact(
+    base_rtt: float,
+    rtt: float,
+    *,
+    slope: float = 10.0,
+    center: float = 0.5,
+    ceiling: float = 2.0,
+) -> float:
+    """Eq. (5) with the exact exponential."""
+    ratio = rtt_ratio(base_rtt, rtt)
+    return ceiling / (1.0 + math.exp(-slope * (ratio - center)))
+
+
+def epsilon_taylor(
+    base_rtt: float,
+    rtt: float,
+    *,
+    slope: float = 10.0,
+    center: float = 0.5,
+    ceiling: float = 2.0,
+) -> float:
+    """Algorithm 1's integer/fixed-point evaluation of Eq. (5).
+
+    The kernel computes ``u = 10 * baseRTT/RTT - 5`` and approximates
+    ``100 * exp(u)`` by the third-order Taylor polynomial
+
+        num = 100 + 100 u + 50 u^2 + 17 u^3
+
+    (17 ~ 100/6), then returns ``eps = 2 * num / (100 + num)``, which is
+    algebraically ``2 / (1 + e^{-u})`` when ``num = 100 e^u``. The cubic
+    goes negative below ``u ~ -2.6``; we clamp the numerator at 1 (one
+    fixed-point unit), mirroring what unsigned kernel arithmetic enforces.
+    """
+    ratio = rtt_ratio(base_rtt, rtt)
+    u = slope * ratio - slope * center
+    num = 100.0 + 100.0 * u + 50.0 * u * u + 17.0 * u * u * u
+    num = max(1.0, num)
+    return ceiling * num / (100.0 + num)
+
+
+def epsilon_series(base_rtt: float, rtts, config: DtsFactorConfig = DtsFactorConfig()):
+    """Evaluate the factor over an iterable of RTTs (convenience for plots)."""
+    return [config.epsilon(base_rtt, r) for r in rtts]
+
+
+def taylor_absolute_error(ratio: float, *, slope: float = 10.0, center: float = 0.5) -> float:
+    """|taylor - exact| at a given baseRTT/RTT ratio (both with ceiling 2)."""
+    if not 0.0 < ratio <= 1.0:
+        raise ModelError(f"ratio must be in (0, 1], got {ratio}")
+    base, rtt = ratio, 1.0
+    return abs(
+        epsilon_taylor(base, rtt, slope=slope, center=center)
+        - epsilon_exact(base, rtt, slope=slope, center=center)
+    )

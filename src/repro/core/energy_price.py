@@ -1,0 +1,102 @@
+"""The energy-proportional price of Section V.C (Eqs. 6-9).
+
+The utility the network operator minimizes:
+
+    U_ep = sum_{l' in L'} (Q_l' - Q)^+ + rho * sum_{l' in L'} y_l'     (Eq. 6)
+
+(L' = switch-to-switch links, Q_l' their queue sizes, Q the target queue,
+rho the bottleneck energy cost per unit traffic). Adding ``-kappa_s U_ep``
+to the user utility (Eq. 7) and differentiating yields the compensative
+parameter of Eq. (3):
+
+    phi_r = kappa_s * x_r^2 * dU_ep/dx_r                              (Eq. 7)
+
+with, along path r,
+
+    dU_ep/dx_r = sum_{l' in r ∩ L'} [ 1{Q_l' > Q} * dQ_l'/dx_r + rho ]
+               ~ (number of over-target queues on r) + rho * |r ∩ L'|
+
+which plugs into the extended fluid model of Eq. (9):
+
+    dx_r/dt = c eps_r x_r^2/(RTT_r^2 (sum x)^2) - (1/2) p_r x_r^2 - phi_r.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class EnergyPriceConfig:
+    """Parameters of the Eq. (6)-(9) energy price."""
+
+    #: Weight kappa_s of the price in the user utility (Eq. 7).
+    kappa: float = 5e-5
+    #: Bottleneck energy cost per unit traffic, rho (Eq. 6).
+    rho: float = 1.0
+    #: Weight of the queue-excess indicator term.
+    gamma: float = 2.0
+    #: Target queue size Q, expressed as a queueing-delay threshold when the
+    #: sender can only sense queues end-to-end (seconds).
+    queue_delay_threshold: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.kappa < 0 or self.rho < 0 or self.gamma < 0:
+            raise ModelError("kappa, rho and gamma must be non-negative")
+
+
+def utility_ep(
+    queue_sizes: Sequence[float],
+    target_queue: float,
+    traffic: Sequence[float],
+    rho: float,
+) -> float:
+    """Evaluate U_ep (Eq. 6) over the switch-to-switch links."""
+    q = np.asarray(queue_sizes, dtype=float)
+    y = np.asarray(traffic, dtype=float)
+    if q.shape != y.shape:
+        raise ModelError("queue_sizes and traffic must align")
+    return float(np.sum(np.maximum(q - target_queue, 0.0)) + rho * np.sum(y))
+
+
+def price_gradient(
+    over_target_count: np.ndarray,
+    switch_hops: np.ndarray,
+    config: EnergyPriceConfig,
+) -> np.ndarray:
+    """dU_ep/dx_r per path: congested-queue count plus rho * hop count."""
+    return config.gamma * np.asarray(over_target_count, dtype=float) + (
+        config.rho * np.asarray(switch_hops, dtype=float)
+    )
+
+
+def phi(
+    x: np.ndarray,
+    over_target_count: np.ndarray,
+    switch_hops: np.ndarray,
+    config: EnergyPriceConfig,
+) -> np.ndarray:
+    """The compensative parameter phi_r = kappa x_r^2 dU_ep/dx_r (Eq. 7)."""
+    x = np.asarray(x, dtype=float)
+    return config.kappa * x * x * price_gradient(over_target_count, switch_hops, config)
+
+
+def per_ack_window_drain(
+    w: np.ndarray,
+    over_target_count: np.ndarray,
+    switch_hops: np.ndarray,
+    config: EnergyPriceConfig,
+) -> np.ndarray:
+    """phi_r translated to a per-ACK window decrement: kappa * price * w_r.
+
+    Derivation: a per-ACK window change ``d`` contributes ``d * x_r / RTT_r``
+    to dx_r/dt; equating to ``-phi_r`` with x = w/RTT gives
+    ``d = -kappa * price * w_r``.
+    """
+    w = np.asarray(w, dtype=float)
+    return config.kappa * price_gradient(over_target_count, switch_hops, config) * w

@@ -1,0 +1,84 @@
+"""Numeric equilibria of the Eq. (3) model.
+
+Setting ``dx_r/dt = 0`` with loss signal ``lambda_r = p_r`` (and phi = 0)
+gives the per-path balance
+
+    psi_r(x) / (RTT_r^2 (sum_k x_k)^2) = beta_r p_r
+
+whose solution is the algorithm's stationary rate allocation for fixed
+per-path loss probabilities — the quantity Condition 1 reasons about, and
+the bridge the tests use to tie the packet-level controllers, the fluid
+adapters and the analytic model together.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.model import CongestionModel, ModelState
+from repro.errors import ModelError
+
+_EPS = 1e-9
+
+
+def solve_equilibrium(
+    model: CongestionModel,
+    rtt: np.ndarray,
+    loss: np.ndarray,
+    *,
+    base_rtt: Optional[np.ndarray] = None,
+    w0: Optional[np.ndarray] = None,
+    max_iter: int = 200,
+) -> ModelState:
+    """Solve for the stationary windows given fixed RTTs and loss rates.
+
+    Uses damped fixed-point iteration on the window form of the balance
+    equation (robust for every decomposition in this package), refined by
+    ``scipy.optimize.root`` when it converges poorly.
+    """
+    rtt = np.asarray(rtt, dtype=float)
+    loss = np.asarray(loss, dtype=float)
+    if rtt.shape != loss.shape:
+        raise ModelError("rtt and loss must have the same shape")
+    if np.any(loss <= 0):
+        raise ModelError("equilibrium requires positive loss rates")
+    n = len(rtt)
+    w = np.asarray(w0, dtype=float) if w0 is not None else np.full(n, 10.0)
+
+    def residual(w_vec: np.ndarray) -> np.ndarray:
+        w_clamped = np.maximum(w_vec, 1e-3)
+        st = ModelState(w=w_clamped, rtt=rtt, base_rtt=base_rtt)
+        total = np.sum(st.x)
+        lhs = model.psi(st) / (rtt**2 * total * total + _EPS)
+        rhs = model.beta(st) * loss
+        return lhs - rhs
+
+    damping = 0.3
+    for _ in range(max_iter):
+        st = ModelState(w=np.maximum(w, 1e-3), rtt=rtt, base_rtt=base_rtt)
+        total = np.sum(st.x)
+        # Balance: psi/(rtt^2 total^2) = beta p  =>  implied total given w,
+        # then rescale windows toward consistency via the psi ratio.
+        psi = np.maximum(model.psi(st), _EPS)
+        beta = model.beta(st)
+        target_w = np.sqrt(psi / (beta * loss + _EPS)) / (rtt * total + _EPS) * rtt
+        # target_w solves w such that x_r contributes consistently:
+        # w_r = sqrt(psi_r/(beta_r p_r)) / total  (in window units w = x*rtt)
+        w = (1 - damping) * w + damping * np.maximum(target_w, 1e-3)
+    res = residual(w)
+    if np.max(np.abs(res)) > 1e-4 * np.max(np.abs(model.beta(
+            ModelState(w=np.maximum(w, 1e-3), rtt=rtt, base_rtt=base_rtt)) * loss)):
+        sol = optimize.root(residual, w, method="hybr")
+        if sol.success:
+            w = np.maximum(sol.x, 1e-3)
+    return ModelState(w=np.maximum(w, 1e-3), rtt=rtt, base_rtt=base_rtt)
+
+
+def reno_window(loss: float) -> float:
+    """Classic Reno equilibrium window sqrt(2/p), segments."""
+    if loss <= 0:
+        raise ModelError(f"loss must be positive, got {loss}")
+    return float(np.sqrt(2.0 / loss))

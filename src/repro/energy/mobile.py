@@ -1,0 +1,83 @@
+"""Whole-device power model for the paper's Nexus 5 experiment (Fig. 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.energy.nic import LteRadio, RadioModel, WifiRadio
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MobileDeviceModel:
+    """A multihomed phone: baseline platform power plus one radio per path.
+
+    The paper's Fig. 2 compares data transfers over TCP/WiFi, TCP/LTE and
+    MPTCP (both radios concurrently): MPTCP pays for *both* radios at once,
+    which is exactly what this model produces.
+    """
+
+    radios: Dict[str, RadioModel]
+    #: Screen-off platform baseline (SoC, RAM) while networking, watts.
+    baseline_w: float = 0.35
+    #: Marginal CPU cost of pushing packets, watts per Mbps aggregate.
+    cpu_w_per_mbps: float = 0.01
+    name: str = "device"
+
+    def transfer_power(self, rates_bps: Dict[str, float]) -> float:
+        """Instantaneous device power during a transfer.
+
+        Parameters
+        ----------
+        rates_bps:
+            Download rate per radio name; radios not mentioned idle.
+        """
+        for radio_name in rates_bps:
+            if radio_name not in self.radios:
+                raise ConfigurationError(f"unknown radio {radio_name!r} on {self.name}")
+        total = self.baseline_w
+        for radio_name, radio in self.radios.items():
+            rate = rates_bps.get(radio_name, 0.0)
+            if rate > 0:
+                total += radio.active_power(rate)
+            else:
+                total += radio.idle_power()
+        aggregate_mbps = sum(rates_bps.values()) / 1e6
+        total += self.cpu_w_per_mbps * aggregate_mbps
+        return total
+
+    def transfer_energy(
+        self,
+        data_bytes: float,
+        rates_bps: Dict[str, float],
+        *,
+        include_overheads: bool = True,
+    ) -> float:
+        """Joules to download ``data_bytes`` split across radios at the
+        given steady rates (the slowest-finishing radio sets the duration
+        of the baseline/idle draw)."""
+        aggregate = sum(rates_bps.values())
+        if aggregate <= 0:
+            raise ConfigurationError("at least one radio must carry traffic")
+        duration = data_bytes * 8 / aggregate
+        energy = self.transfer_power(rates_bps) * duration
+        if include_overheads:
+            for radio_name, rate in rates_bps.items():
+                if rate > 0:
+                    energy += self.radios[radio_name].fixed_overhead_energy()
+        return energy
+
+
+def nexus5(
+    *,
+    wifi: Optional[WifiRadio] = None,
+    lte: Optional[LteRadio] = None,
+) -> MobileDeviceModel:
+    """The Nexus 5 profile used by the paper's Fig. 2."""
+    return MobileDeviceModel(
+        radios={"wifi": wifi or WifiRadio(), "lte": lte or LteRadio()},
+        baseline_w=0.35,
+        cpu_w_per_mbps=0.01,
+        name="nexus5",
+    )

@@ -1,0 +1,122 @@
+"""Phone radio power models (WiFi and LTE) with published constants.
+
+Constants are from Huang et al., "A Close Examination of Performance and
+Power Characteristics of 4G LTE Networks" (MobiSys 2012) — the paper's
+reference [21] and the same model its reference [5] (eMPTCP) builds on:
+
+==========  ==============  ==============  ===========
+radio       alpha_down       alpha_up        beta
+            (mW per Mbps)    (mW per Mbps)   (mW)
+==========  ==============  ==============  ===========
+LTE         51.97            438.39          1288.04
+WiFi        137.01           283.17          132.86
+==========  ==============  ==============  ===========
+
+LTE additionally has an RRC state machine: IDLE (~11 mW), a promotion ramp
+(1210 mW for 0.26 s) on wakeup, and a long tail (1060 mW for 11.576 s)
+after the last activity — the tail is why short transfers are so expensive
+on LTE and why path-selection schemes like eMPTCP exist.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import milliwatts, to_mbps
+
+
+class RadioModel(ABC):
+    """Power model of one radio interface."""
+
+    @abstractmethod
+    def active_power(self, down_bps: float, up_bps: float = 0.0) -> float:
+        """Watts while actively transferring at the given rates."""
+
+    @abstractmethod
+    def idle_power(self) -> float:
+        """Watts while the radio is idle (post-tail)."""
+
+    def transfer_energy(self, data_bytes: float, down_bps: float, *, up_bps: float = 0.0) -> float:
+        """Joules to move ``data_bytes`` at a steady rate, including any
+        promotion/tail overhead the radio imposes."""
+        if down_bps <= 0:
+            raise ConfigurationError(f"throughput must be positive, got {down_bps}")
+        duration = data_bytes * 8 / down_bps
+        return self.active_power(down_bps, up_bps) * duration + self.fixed_overhead_energy()
+
+    def fixed_overhead_energy(self) -> float:
+        """Per-transfer promotion + tail energy (zero by default)."""
+        return 0.0
+
+
+@dataclass
+class WifiRadio(RadioModel):
+    """WiFi radio: linear rate-to-power, negligible promotion/tail."""
+
+    alpha_down_mw_per_mbps: float = 137.01
+    alpha_up_mw_per_mbps: float = 283.17
+    beta_mw: float = 132.86
+    idle_mw: float = 77.0
+
+    def active_power(self, down_bps: float, up_bps: float = 0.0) -> float:
+        mw = (
+            self.beta_mw
+            + self.alpha_down_mw_per_mbps * to_mbps(down_bps)
+            + self.alpha_up_mw_per_mbps * to_mbps(up_bps)
+        )
+        return milliwatts(mw)
+
+    def idle_power(self) -> float:
+        return milliwatts(self.idle_mw)
+
+
+@dataclass
+class LteRadio(RadioModel):
+    """LTE radio with RRC promotion and tail overheads."""
+
+    alpha_down_mw_per_mbps: float = 51.97
+    alpha_up_mw_per_mbps: float = 438.39
+    beta_mw: float = 1288.04
+    idle_mw: float = 11.4
+    promotion_mw: float = 1210.7
+    promotion_s: float = 0.26
+    tail_mw: float = 1060.0
+    tail_s: float = 11.576
+    #: Time of last observed activity (for the stateful tracker below).
+    _last_activity: float = field(default=float("-inf"), repr=False)
+
+    def active_power(self, down_bps: float, up_bps: float = 0.0) -> float:
+        mw = (
+            self.beta_mw
+            + self.alpha_down_mw_per_mbps * to_mbps(down_bps)
+            + self.alpha_up_mw_per_mbps * to_mbps(up_bps)
+        )
+        return milliwatts(mw)
+
+    def idle_power(self) -> float:
+        return milliwatts(self.idle_mw)
+
+    def fixed_overhead_energy(self) -> float:
+        """One promotion ramp plus one full tail per transfer."""
+        promotion = milliwatts(self.promotion_mw) * self.promotion_s
+        tail = milliwatts(self.tail_mw) * self.tail_s
+        return promotion + tail
+
+    # ------------------------------------------------------- stateful view
+
+    def note_activity(self, now: float) -> None:
+        """Record packet activity (keeps the connected state alive)."""
+        self._last_activity = now
+
+    def power_at(self, now: float, down_bps: float, up_bps: float = 0.0) -> float:
+        """Instantaneous power honouring the tail: full active power while
+        transferring, tail power within ``tail_s`` of the last activity,
+        idle power afterwards."""
+        if down_bps > 0 or up_bps > 0:
+            self.note_activity(now)
+            return self.active_power(down_bps, up_bps)
+        if now - self._last_activity <= self.tail_s:
+            return milliwatts(self.tail_mw)
+        return self.idle_power()

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, topology, or model was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an invalid internal state."""
+
+
+class RoutingError(ReproError):
+    """No route (or an invalid route) between the requested endpoints."""
+
+
+class AlgorithmError(ReproError):
+    """A congestion-control algorithm was misused or is unknown."""
+
+
+class ModelError(ReproError):
+    """The analytical congestion-control model was given invalid inputs."""

@@ -1,0 +1,61 @@
+"""One experiment module per figure of the paper's evaluation.
+
+Every module exposes ``run(...)`` returning a structured result object and
+``main()`` that prints the figure's rows as an ASCII table. The benchmark
+harness in ``benchmarks/`` wraps these with pytest-benchmark and asserts
+the paper's qualitative claims. Default parameters are scaled down to
+finish in seconds; each ``run`` accepts the paper's full-scale parameters
+(documented per module) for faithful reproduction runs.
+
+========  ==========================================================
+module    paper artifact
+========  ==========================================================
+fig01     Fig. 1  — CPU power vs number of subflows (TCP vs MPTCP)
+fig02     Fig. 2  — Nexus 5 power: TCP/WiFi, TCP/LTE, MPTCP
+fig03     Fig. 3  — energy & power vs throughput (Ethernet, WiFi)
+fig04     Fig. 4  — power vs path delay at matched throughput
+fig06     Fig. 6  — box-whisker energy, 4 algorithms x N users
+fig07     Fig. 7  — traffic shifting under Pareto bursts
+fig08     Fig. 8  — LIA vs modified-LIA (DTS) time traces
+fig09     Fig. 9  — DTS vs LIA energy/throughput on the testbed
+fig10     Fig. 10 — EC2: TCP, DCTCP, LIA, DTS
+fig12_14  Figs. 12-14 — energy overhead vs subflows per topology
+fig15     Fig. 15 — extended-DTS (phi) savings in FatTree/VL2
+fig16     Fig. 16 — aggregate throughput in FatTree/VL2
+fig17     Fig. 17 — heterogeneous wireless: DTS vs LIA
+========  ==========================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig01_power_vs_subflows,
+    fig02_mobile_power,
+    fig03_energy_vs_throughput,
+    fig04_power_vs_delay,
+    fig06_shared_bottleneck,
+    fig07_traffic_shifting,
+    fig08_trace,
+    fig09_dts_testbed,
+    fig10_ec2,
+    fig12_14_subflows,
+    fig15_phi,
+    fig16_dc_throughput,
+    fig17_wireless,
+    paper_scale,
+)
+
+__all__ = [
+    "fig01_power_vs_subflows",
+    "fig02_mobile_power",
+    "fig03_energy_vs_throughput",
+    "fig04_power_vs_delay",
+    "fig06_shared_bottleneck",
+    "fig07_traffic_shifting",
+    "fig08_trace",
+    "fig09_dts_testbed",
+    "fig10_ec2",
+    "fig12_14_subflows",
+    "fig15_phi",
+    "fig16_dc_throughput",
+    "fig17_wireless",
+    "paper_scale",
+]

@@ -1,0 +1,58 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.energy.accounting import ConnectionEnergyMeter
+from repro.energy.cpu import HostPowerModel
+from repro.net.mptcp import MptcpConnection
+from repro.net.network import Network
+
+
+@dataclass
+class MeasuredTransfer:
+    """Outcome of one metered transfer."""
+
+    algorithm: str
+    goodput_bps: float
+    completion_time: Optional[float]
+    energy_j: float
+    mean_power_w: float
+    loss_events: int
+    retransmissions: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def meter_and_run(
+    net: Network,
+    connection: MptcpConnection,
+    host_model: HostPowerModel,
+    *,
+    timeout: float = 600.0,
+    interval: float = 0.05,
+    n_subflows: Optional[int] = None,
+    algorithm_label: Optional[str] = None,
+) -> MeasuredTransfer:
+    """Attach an energy meter, run to completion, and collect the outcome.
+
+    The connection must already be started (or be startable by the caller
+    before calling run) — this helper starts it if it has not begun.
+    """
+    meter = ConnectionEnergyMeter(
+        net.sim, connection, host_model, interval=interval, n_subflows=n_subflows
+    )
+    if not connection.subflows[0].started:
+        connection.start()
+    net.run_until_complete([connection], timeout=timeout)
+    meter.stop()
+    return MeasuredTransfer(
+        algorithm=algorithm_label or connection.controller.name,
+        goodput_bps=connection.aggregate_goodput_bps(),
+        completion_time=connection.completion_time,
+        energy_j=meter.energy_j,
+        mean_power_w=meter.mean_power_w,
+        loss_events=connection.total_loss_events(),
+        retransmissions=connection.total_retransmissions(),
+    )

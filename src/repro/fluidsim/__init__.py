@@ -1,0 +1,27 @@
+"""Fluid/window-dynamics simulator for datacenter-scale experiments.
+
+The offline substitute for the C++ ``htsim`` simulator used in the paper's
+Figs. 10 and 12-16: pure-Python packet simulation of 128 hosts x 8 subflows
+x 1000 s is infeasible, but the quantities those figures depend on —
+per-path equilibrium rates, loss rates, RTT inflation, link utilization and
+the energy integrals over them — are exactly what a fluid model of the
+window dynamics (the paper's own Eq. 3) computes. The engine advances all
+subflow windows synchronously with vectorized numpy updates: link loads and
+queues from a sparse routing matrix, loss events sampled per subflow (at
+most one per RTT, as fast recovery enforces), and the same per-ACK
+increase rules as the packet-level controllers.
+"""
+
+from repro.fluidsim.adapters import FluidAlgorithm, create_fluid_algorithm, fluid_algorithm_names
+from repro.fluidsim.engine import FluidSimulation, SimulationResult
+from repro.fluidsim.network import FluidConnection, FluidNetwork
+
+__all__ = [
+    "FluidAlgorithm",
+    "FluidConnection",
+    "FluidNetwork",
+    "FluidSimulation",
+    "SimulationResult",
+    "create_fluid_algorithm",
+    "fluid_algorithm_names",
+]

@@ -1,0 +1,281 @@
+"""The fluid window-dynamics integrator with energy accounting.
+
+Each step of length ``dt``:
+
+1. subflow rates ``x = w * packet_bits / rtt`` (bps), link loads
+   ``y = R x``;
+2. queue evolution ``q += (y - c) dt`` clamped to the buffer; a full queue
+   with persistent overload drops the excess, yielding per-link loss
+   probability ``p = (y - c)/y``; queues above the ECN threshold mark;
+3. per-subflow RTT ``rtt = base + R^T (q/c)`` and path loss
+   ``p_path ~ sum of link p`` (clamped);
+4. loss events are sampled per subflow as a Poisson thinning of the packet
+   arrival rate, at most one event per RTT (fast recovery), each applying
+   the algorithm's multiplicative decrease;
+5. windows grow by the algorithm's per-ACK increase times the ACK rate,
+   plus any algorithm-specific adjustment (wVegas/DCTCP/extended-DTS);
+6. host and switch power are evaluated on the sampled state and integrated
+   into energy (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.energy.cpu import HostPowerModel, WiredPathPower, default_wired_host
+from repro.energy.switch import SwitchPowerModel
+from repro.errors import ConfigurationError
+from repro.fluidsim.network import FluidNetwork
+from repro.fluidsim.state import CohortState
+
+_EPS = 1e-12
+
+
+@dataclass
+class SimulationResult:
+    """Outputs of one fluid run."""
+
+    duration: float
+    #: Delivered goodput per connection, bits/second (time average).
+    connection_goodput_bps: np.ndarray
+    #: Total delivered bits per connection.
+    connection_bits: np.ndarray
+    #: Host CPU energy, joules (summed over hosts).
+    host_energy_j: float
+    #: Switch energy, joules (summed over switches).
+    switch_energy_j: float
+    #: Loss events observed per subflow.
+    loss_events: np.ndarray
+    #: Mean RTT per subflow over the run, seconds.
+    mean_rtt: np.ndarray
+    #: Mean link utilization over the run (per link).
+    mean_utilization: np.ndarray
+    #: Sampled time series (coarse): times, aggregate goodput, total power.
+    sample_times: List[float] = field(default_factory=list)
+    sample_goodput_bps: List[float] = field(default_factory=list)
+    sample_power_w: List[float] = field(default_factory=list)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Host plus switch energy, joules."""
+        return self.host_energy_j + self.switch_energy_j
+
+    @property
+    def aggregate_goodput_bps(self) -> float:
+        """Sum of connection goodputs, bits/second."""
+        return float(np.sum(self.connection_goodput_bps))
+
+    def energy_per_gb(self) -> float:
+        """Energy overhead in joules per delivered decimal gigabyte — the
+        y-axis of the paper's Figs. 12-15."""
+        delivered_gb = float(np.sum(self.connection_bits)) / 8e9
+        if delivered_gb <= 0:
+            return float("inf")
+        return self.total_energy_j / delivered_gb
+
+
+class FluidSimulation:
+    """Integrates a finalized :class:`FluidNetwork`."""
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        *,
+        dt: float = 0.005,
+        seed: Optional[int] = None,
+        host_power: Optional[HostPowerModel] = None,
+        switch_power: Optional[SwitchPowerModel] = None,
+        ecn_threshold_packets: Optional[int] = None,
+        initial_window: float = 10.0,
+        energy_sample_every: int = 10,
+    ):
+        if network.base_rtt is None:
+            raise ConfigurationError("finalize() the FluidNetwork before simulating")
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        self.net = network
+        self.dt = dt
+        self.rng = np.random.default_rng(seed)
+        self.host_power = host_power if host_power is not None else default_wired_host()
+        self.switch_power = switch_power if switch_power is not None else SwitchPowerModel()
+        self.energy_sample_every = max(1, energy_sample_every)
+
+        n = network.n_subflows
+        self.w = np.full(n, float(initial_window))
+        self.rtt = network.base_rtt.copy()
+        self.queue_bits = np.zeros(network.n_links)
+        self.loss_events = np.zeros(n)
+        self.recovery_until = np.zeros(n)
+        self.delivered_bits = np.zeros(len(network.connections))
+        self.ecn_threshold_bits = (
+            ecn_threshold_packets * network.packet_bits
+            if ecn_threshold_packets is not None
+            else 0.3 * float(network.buffer_bits[0])
+        )
+        # Precompute per-host overhead: idle for every host that touches
+        # traffic, plus per-subflow socket overhead at the endpoints only.
+        counts = network.host_subflow_count
+        endpoints = network.host_endpoint_count
+        self._host_static_w = float(
+            np.sum(
+                np.where(
+                    counts > 0,
+                    self.host_power.idle_w
+                    + self.host_power.subflow_overhead_w * np.maximum(0, endpoints - 1),
+                    0.0,
+                )
+            )
+        )
+        # Egress-port map as arrays for vectorized switch power.
+        egress = []
+        for s in network.topology.switches:
+            egress.extend(network.switch_egress[s])
+        self._switch_ports = np.array(egress, dtype=np.int64)
+
+        # Path-model parameters for vectorized power (duck-typed from the
+        # configured PathPowerModel; WiredPathPower fields are the default).
+        pm = self.host_power.path_model
+        self._pm = pm
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, duration: float) -> SimulationResult:
+        """Integrate for ``duration`` seconds and return the results."""
+        net = self.net
+        n_steps = max(1, int(round(duration / self.dt)))
+        dt = self.dt
+        pkt_bits = net.packet_bits
+        cap = net.capacity
+        buf = net.buffer_bits
+        R = net.routing
+        Rt = net.routing_t
+        inv_cap = 1.0 / cap
+
+        rtt_accum = np.zeros_like(self.w)
+        util_accum = np.zeros(net.n_links)
+        host_energy = 0.0
+        switch_energy = 0.0
+        energy_steps = 0
+        samples_t: List[float] = []
+        samples_goodput: List[float] = []
+        samples_power: List[float] = []
+
+        now = 0.0
+        for step in range(n_steps):
+            now = (step + 1) * dt
+            x_pkts = self.w / self.rtt
+            x_bps = x_pkts * pkt_bits
+            y = R @ x_bps
+            # Queues and loss.
+            overload = y - cap
+            self.queue_bits += overload * dt
+            np.clip(self.queue_bits, 0.0, buf, out=self.queue_bits)
+            full = self.queue_bits >= buf * 0.999
+            p_link = np.where((overload > 0) & full, overload / np.maximum(y, _EPS), 0.0)
+            marked_link = (self.queue_bits > self.ecn_threshold_bits).astype(float)
+            # Per-subflow path state.
+            qdelay = Rt @ (self.queue_bits * inv_cap)
+            self.rtt = net.base_rtt + qdelay
+            p_path = np.minimum(Rt @ p_link, 0.5)
+            marked_path = np.minimum(Rt @ marked_link, 1.0)
+            util = np.minimum(y * inv_cap, 1.0)
+
+            delivered = x_bps * (1.0 - p_path) * dt
+            np.add.at(self.delivered_bits, net.subflow_conn, delivered)
+
+            # Loss events: Poisson thinning, suppressed during recovery.
+            lam = p_path * x_pkts
+            can_lose = now >= self.recovery_until
+            prob = 1.0 - np.exp(-lam * dt)
+            losing = can_lose & (self.rng.random(len(self.w)) < prob)
+
+            # Per-cohort CC updates.
+            for cohort in net.cohorts:
+                ids = cohort.ids
+                st = CohortState(
+                    w=self.w[ids],
+                    rtt=self.rtt[ids],
+                    base_rtt=net.base_rtt[ids],
+                    loss=p_path[ids],
+                    queueing=qdelay[ids],
+                    switch_hops=net.switch_hops[ids],
+                    ecn_marked=marked_path[ids],
+                    user_starts=cohort.user_starts,
+                    user_of=cohort.user_of,
+                )
+                increase = cohort.algorithm.per_ack_increase(st)
+                dw = increase * st.x_pkts * dt
+                dw += cohort.algorithm.rate_adjustment(st, dt)
+                new_w = st.w + dw
+                lose_here = losing[ids]
+                if cohort.algorithm.uses_ecn:
+                    lose_here = lose_here & (st.loss > 0)
+                if np.any(lose_here):
+                    factor = cohort.algorithm.loss_decrease_factor(st)
+                    new_w = np.where(lose_here, st.w * factor, new_w)
+                self.w[ids] = np.maximum(new_w, 1.0)
+                if np.any(lose_here):
+                    gids = ids[lose_here]
+                    self.loss_events[gids] += 1
+                    self.recovery_until[gids] = now + self.rtt[gids]
+
+            rtt_accum += self.rtt
+            util_accum += util
+
+            # Energy (sampled every few steps for speed).
+            if step % self.energy_sample_every == 0:
+                energy_steps += 1
+                host_p = self._host_power_now(x_bps)
+                switch_p = self._switch_power_now(util)
+                host_energy += host_p * dt * self.energy_sample_every
+                switch_energy += switch_p * dt * self.energy_sample_every
+                samples_t.append(now)
+                samples_goodput.append(float(np.sum(x_bps * (1.0 - p_path))))
+                samples_power.append(host_p + switch_p)
+
+        goodput = self.delivered_bits / duration
+        return SimulationResult(
+            duration=duration,
+            connection_goodput_bps=goodput,
+            connection_bits=self.delivered_bits.copy(),
+            host_energy_j=host_energy,
+            switch_energy_j=switch_energy,
+            loss_events=self.loss_events.copy(),
+            mean_rtt=rtt_accum / n_steps,
+            mean_utilization=util_accum / n_steps,
+            sample_times=samples_t,
+            sample_goodput_bps=samples_goodput,
+            sample_power_w=samples_power,
+        )
+
+    # -------------------------------------------------------------- power
+
+    def _host_power_now(self, x_bps: np.ndarray) -> float:
+        """Total host CPU power: static part + per-path marginal terms."""
+        pm = self._pm
+        tau_mbps = x_bps / 1e6
+        if hasattr(pm, "exponent"):
+            base = pm.k * np.power(np.maximum(tau_mbps, 0.0), pm.exponent)
+        else:
+            base = np.where(
+                tau_mbps > 0, pm.base_w + pm.slope_w_per_mbps * tau_mbps, 0.0
+            )
+        rtt_factor = 1.0 + pm.rtt_coefficient * np.maximum(
+            0.0, self.rtt / pm.rtt_reference - 1.0
+        )
+        marginal = base * rtt_factor
+        per_host = self.net.host_incidence @ marginal
+        return self._host_static_w + float(np.sum(per_host))
+
+    def _switch_power_now(self, util: np.ndarray) -> float:
+        """Total switch power: chassis + utilization-proportional ports."""
+        sp = self.switch_power
+        ports = self._switch_ports
+        if len(ports) == 0:
+            return sp.chassis_w * len(self.net.topology.switches)
+        port_util = util[ports]
+        port_power = sp.port_idle_w + (sp.port_max_w - sp.port_idle_w) * port_util
+        return sp.chassis_w * len(self.net.topology.switches) + float(np.sum(port_power))

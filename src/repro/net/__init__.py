@@ -1,0 +1,56 @@
+"""Packet-level discrete-event network simulator.
+
+This subpackage is the substitute for the paper's MPTCP Linux-kernel testbed
+and for the ns-2.35 scenarios: it implements links with finite-capacity
+queues, full single-subflow TCP machinery (slow start, congestion avoidance,
+duplicate-ACK fast retransmit and recovery, retransmission timeouts, ECN),
+and an MPTCP connection layer that couples the congestion windows of its
+subflows through a pluggable :class:`~repro.algorithms.base.CongestionController`.
+
+The public entry point is :class:`~repro.net.network.Network`.
+"""
+
+from repro.net.events import EventHandle, Simulator
+from repro.net.link import Link
+from repro.net.monitor import FlowMonitor, LinkMonitor, PeriodicSampler
+from repro.net.mptcp import MptcpConnection
+from repro.net.network import Network
+from repro.net.node import Host, Node, Switch
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue, EcnConfig, REDQueue
+from repro.net.routing import Route
+from repro.net.scheduler import (
+    GreedyScheduler,
+    MinRttScheduler,
+    RoundRobinScheduler,
+    create_scheduler,
+)
+from repro.net.trace import FlowTracer, TraceEvent
+from repro.net.flow import TcpReceiver, TcpSender
+
+__all__ = [
+    "DropTailQueue",
+    "EcnConfig",
+    "EventHandle",
+    "FlowMonitor",
+    "FlowTracer",
+    "GreedyScheduler",
+    "MinRttScheduler",
+    "RoundRobinScheduler",
+    "TraceEvent",
+    "create_scheduler",
+    "Host",
+    "Link",
+    "LinkMonitor",
+    "MptcpConnection",
+    "Network",
+    "Node",
+    "Packet",
+    "PeriodicSampler",
+    "REDQueue",
+    "Route",
+    "Simulator",
+    "Switch",
+    "TcpReceiver",
+    "TcpSender",
+]

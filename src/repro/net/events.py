@@ -1,0 +1,106 @@
+"""Event queue and simulation clock for the packet-level simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when
+    popped. This keeps scheduling O(log n) with no heap surgery.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when its time comes."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulation clock with a binary-heap event queue.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random generator. All stochastic
+        elements of a simulation (random losses, workload arrivals) must
+        draw from :attr:`rng` so runs are reproducible.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self.now: float = 0.0
+        self.rng = np.random.default_rng(seed)
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, already at {self.now:.6f}"
+            )
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._heap, (time, next(self._counter), handle))
+        return handle
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time. Events scheduled at
+            exactly ``until`` are executed. ``None`` drains the queue.
+        max_events:
+            Safety valve for runaway simulations; raises
+            :class:`SimulationError` when exceeded.
+        """
+        executed = 0
+        heap = self._heap
+        while heap:
+            time, _, handle = heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            handle.callback(*handle.args)
+            self._events_processed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        if until is not None:
+            self.now = until
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled stubs)."""
+        return len(self._heap)

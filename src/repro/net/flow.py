@@ -1,0 +1,576 @@
+"""Single-subflow TCP sender/receiver machinery.
+
+This module is the packet-level substitute for the per-subflow socket code of
+the MPTCP Linux kernel v0.90 the paper modifies: slow start, congestion
+avoidance (delegated to a pluggable congestion controller), duplicate-ACK
+fast retransmit with NewReno-style partial-ACK recovery, exponential-backoff
+retransmission timeouts, RTT estimation (RFC 6298), baseRTT tracking (the
+input to the paper's DTS factor, Eq. 5), and ECN echo for DCTCP.
+
+A :class:`TcpSender` is one subflow. Standalone TCP is a connection with a
+single subflow; :mod:`repro.net.mptcp` builds multi-subflow connections that
+share a :class:`SegmentSupply` and a coupled congestion controller.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.routing import Route
+from repro.units import DEFAULT_MSS, DEFAULT_PACKET_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.algorithms.base import CongestionController
+    from repro.net.events import Simulator
+
+#: RFC 6298 lower bound is 1 s; Linux uses 200 ms, which we follow.
+MIN_RTO = 0.2
+MAX_RTO = 60.0
+INITIAL_RTO = 1.0
+
+
+class SegmentSupply:
+    """Application data source shared by the subflows of one connection.
+
+    Counts segments granted to senders and segments cumulatively ACKed. A
+    ``total`` of ``None`` models an infinite (long-lived FTP/iperf) source.
+    """
+
+    def __init__(self, total_segments: Optional[int] = None):
+        if total_segments is not None and total_segments <= 0:
+            raise ConfigurationError(f"total_segments must be positive, got {total_segments}")
+        self.total = total_segments
+        self.assigned = 0
+        self.acked = 0
+        self.completion_time: Optional[float] = None
+        self.on_complete: Optional[Callable[[float], None]] = None
+        #: Optional subflow scheduler (see :mod:`repro.net.scheduler`);
+        #: None means greedy first-come-first-served pulls.
+        self.scheduler = None
+
+    def take(self, sender=None) -> bool:
+        """Grant one new segment to ``sender``, if any remain and the
+        scheduler (when present) does not prefer another subflow."""
+        if self.total is not None and self.assigned >= self.total:
+            return False
+        if self.scheduler is not None and sender is not None:
+            if not self.scheduler.grants(sender):
+                return False
+            if self.total is not None and self.assigned >= self.total:
+                return False  # a poked subflow consumed the remainder
+        self.assigned += 1
+        return True
+
+    def note_acked(self, n: int, now: float) -> None:
+        """Record ``n`` newly ACKed segments; fires completion once."""
+        self.acked += n
+        if (
+            self.total is not None
+            and self.acked >= self.total
+            and self.completion_time is None
+        ):
+            self.completion_time = now
+            if self.on_complete is not None:
+                self.on_complete(now)
+
+    @property
+    def completed(self) -> bool:
+        """True once every segment of a finite transfer has been ACKed."""
+        return self.total is not None and self.acked >= self.total
+
+
+class TcpReceiver:
+    """Receiving endpoint of one subflow: reorders and sends cumulative ACKs.
+
+    With ``delayed_acks`` every second in-order segment is acknowledged
+    (RFC 1122 style, with a timer flushing a pending ACK after
+    ``delack_timeout``); out-of-order data, ECN marks and reordering are
+    always acknowledged immediately, as real stacks do, so loss recovery
+    and DCTCP are unaffected.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        flow_id: int,
+        route: Route,
+        sender: "TcpSender",
+        *,
+        delayed_acks: bool = False,
+        delack_timeout: float = 0.04,
+    ):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.route = route
+        self.sender = sender
+        self.rcv_next = 0
+        self._out_of_order: set = set()
+        self.packets_received = 0
+        self.bytes_received = 0
+        self.delayed_acks = delayed_acks
+        self.delack_timeout = delack_timeout
+        self._pending_since: Optional[float] = None
+        self._pending_echo = 0.0
+        self._delack_event = None
+        self.acks_sent = 0
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving data segment and emit (or delay) the ACK."""
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+        sack_seq = -1
+        in_order = packet.seq == self.rcv_next
+        if in_order:
+            self.rcv_next += 1
+            while self.rcv_next in self._out_of_order:
+                self._out_of_order.discard(self.rcv_next)
+                self.rcv_next += 1
+        elif packet.seq > self.rcv_next:
+            self._out_of_order.add(packet.seq)
+            sack_seq = packet.seq
+        must_ack_now = (
+            not self.delayed_acks
+            or not in_order
+            or packet.ecn_ce
+            or self._pending_since is not None  # second in-order segment
+        )
+        if must_ack_now:
+            self._emit_ack(packet.sent_time, packet.ecn_ce, sack_seq)
+        else:
+            self._pending_since = self.sim.now
+            self._pending_echo = packet.sent_time
+            self._delack_event = self.sim.schedule(
+                self.delack_timeout, self._flush_delayed
+            )
+
+    def _flush_delayed(self) -> None:
+        if self._pending_since is None:
+            return
+        self._emit_ack(self._pending_echo, False, -1)
+
+    def _emit_ack(self, echo_time: float, ecn_echo: bool, sack_seq: int) -> None:
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+        self._pending_since = None
+        ack = Packet.ack(
+            self.flow_id,
+            self.rcv_next,
+            self.route.reverse,
+            self.sender,
+            self.sim.now,
+            echo_time=echo_time,
+            ecn_echo=ecn_echo,
+            sack_seq=sack_seq,
+        )
+        self.acks_sent += 1
+        self.route.reverse[0].transmit(ack)
+
+
+class TcpSender:
+    """Sending endpoint of one subflow.
+
+    The congestion controller owns the *congestion-avoidance* window rules
+    (per-ACK increase, loss decrease) for the whole connection; the sender
+    owns everything else (slow start, loss detection, retransmission,
+    timers, RTT estimation).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        flow_id: int,
+        route: Route,
+        supply: SegmentSupply,
+        *,
+        mss: int = DEFAULT_MSS,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+        initial_cwnd: float = 2.0,
+        rcv_buffer_segments: Optional[int] = None,
+        ecn_capable: bool = False,
+        delayed_acks: bool = False,
+    ):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.route = route
+        self.supply = supply
+        self.mss = mss
+        self.packet_bytes = packet_bytes
+        self.ecn_capable = ecn_capable
+        self.controller: Optional["CongestionController"] = None
+        #: Index of this subflow within its connection (set by MptcpConnection).
+        self.subflow_index = 0
+
+        # --- window state (in segments; cwnd is fractional) ---
+        self.cwnd = float(initial_cwnd)
+        self.initial_cwnd = float(initial_cwnd)
+        self.ssthresh = 1e12
+        self.rwnd = rcv_buffer_segments if rcv_buffer_segments is not None else 10**9
+
+        # --- sequencing ---
+        self.next_seq = 0  # next brand-new sequence number
+        self.high_water = 0  # one past the highest seq ever sent
+        self.acked = 0  # cumulative ACK point
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recover_point = 0
+        # SACK scoreboard: out-of-order seqs the receiver holds (>= acked);
+        # holes already retransmitted this recovery episode; retransmissions
+        # still unacknowledged (they count toward the pipe); and a forward
+        # scan pointer for finding the next hole in O(1) amortized.
+        self._sacked: set = set()
+        self._retransmitted_holes: set = set()
+        self._retx_outstanding: set = set()
+        self._hole_scan = 0
+        #: Highest SACKed seq seen (drives the RFC 6675 IsLost heuristic).
+        self._max_sacked = -1
+        #: Cached pipe value, maintained per ACK while in recovery.
+        self._pipe_cache = 0
+        #: True when the current recovery episode began with an RTO, in
+        #: which case the window regrows (slow start) during recovery.
+        self._rto_recovery = False
+
+        # --- RTT estimation (RFC 6298) ---
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.base_rtt = float("inf")
+        self.latest_rtt: Optional[float] = None
+        self.rto = INITIAL_RTO
+        self._rto_backoff = 1.0
+        self._rto_event = None
+
+        # --- counters ---
+        self.fast_retransmits = 0
+        self.timeouts = 0
+        self.loss_events = 0
+        self.packets_sent = 0
+        self.retransmitted = 0
+        self.started = False
+        self.start_time: Optional[float] = None
+
+        self.receiver = TcpReceiver(sim, flow_id, route, self,
+                                    delayed_acks=delayed_acks)
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def rtt(self) -> float:
+        """Best current RTT estimate (smoothed, falling back to the floor)."""
+        if self.srtt is not None:
+            return self.srtt
+        return max(self.route.base_rtt(), 1e-6)
+
+    @property
+    def inflight(self) -> int:
+        """Estimated segments in the pipe (RFC 6675 style).
+
+        Outside recovery: everything sent and not (selectively) ACKed.
+        Inside recovery: the cached per-ACK pipe computation, which treats
+        presumed-lost holes as *not* in flight (see :meth:`_compute_pipe`).
+        """
+        if self.in_recovery:
+            return self._pipe_cache
+        return self.high_water - self.acked - len(self._sacked)
+
+    def _hole_is_lost(self, seq: int) -> bool:
+        """RFC 6675 IsLost, approximated at dup-threshold granularity: a
+        hole is presumed lost once the receiver has SACKed data at least
+        3 segments above it. After an RTO everything unSACKed below the
+        recovery point is presumed lost."""
+        if self._rto_recovery:
+            return True
+        return seq <= self._max_sacked - 3
+
+    def _compute_pipe(self) -> int:
+        """Segments currently in flight during a recovery episode."""
+        pipe = 0
+        sacked = self._sacked
+        retx = self._retx_outstanding
+        for seq in range(self.acked, self.high_water):
+            if seq in sacked:
+                continue
+            if seq in retx:
+                pipe += 1
+            elif seq >= self.recover_point:
+                pipe += 1  # sent after the episode began; presumed in flight
+            elif not self._hole_is_lost(seq):
+                pipe += 1
+        return pipe
+
+    @property
+    def rate_estimate(self) -> float:
+        """Current window-based send-rate estimate x_r = w_r/RTT_r (segments/s)."""
+        return self.cwnd / self.rtt
+
+    @property
+    def done(self) -> bool:
+        """True once the shared transfer has fully completed."""
+        return self.supply.completed
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin transmitting at absolute simulation time ``at``."""
+        if self.started:
+            raise ConfigurationError(f"flow {self.flow_id} already started")
+        self.started = True
+        self.sim.schedule_at(max(at, self.sim.now), self._begin)
+
+    def _begin(self) -> None:
+        self.start_time = self.sim.now
+        self._send_available()
+
+    # ------------------------------------------------------- sending engine
+
+    def _effective_window(self) -> int:
+        return int(min(self.cwnd, self.rwnd))
+
+    def _next_hole(self) -> int:
+        """Next *presumed-lost* segment to retransmit this recovery, or -1.
+
+        A hole is a seq in [acked, recover_point) that the receiver has not
+        selectively ACKed, that the IsLost heuristic marks lost, and that we
+        have not already retransmitted this recovery episode.
+        """
+        seq = max(self._hole_scan, self.acked)
+        while seq < self.recover_point:
+            if seq not in self._sacked and seq not in self._retransmitted_holes:
+                if not self._hole_is_lost(seq):
+                    return -1  # later holes are even less likely lost yet
+                self._hole_scan = seq
+                return seq
+            seq += 1
+        self._hole_scan = seq
+        return -1
+
+    def _send_available(self) -> None:
+        window = self._effective_window()
+        sent_any = False
+        while self.inflight < window:
+            if self.in_recovery:
+                hole = self._next_hole()
+                if hole >= 0:
+                    self._retransmitted_holes.add(hole)
+                    self._retx_outstanding.add(hole)
+                    self._send_segment(hole, is_retransmit=True)
+                    self._pipe_cache += 1
+                    sent_any = True
+                    continue
+            if self.supply.completed or not self.supply.take(self):
+                break
+            self._send_segment(self.next_seq, is_retransmit=False)
+            self.next_seq += 1
+            self.high_water = max(self.high_water, self.next_seq)
+            if self.in_recovery:
+                self._pipe_cache += 1
+            sent_any = True
+        if sent_any:
+            self._ensure_rto_timer()
+
+    def _send_segment(self, seq: int, *, is_retransmit: bool) -> None:
+        pkt = Packet.data(
+            self.flow_id,
+            seq,
+            self.route.forward,
+            self.receiver,
+            self.sim.now,
+            size_bytes=self.packet_bytes,
+            ecn_capable=self.ecn_capable,
+            is_retransmit=is_retransmit,
+        )
+        self.route.forward[0].transmit(pkt)
+        self.packets_sent += 1
+        if is_retransmit:
+            self.retransmitted += 1
+
+    # ------------------------------------------------------------ ACK input
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving ACK (this object is the ACK packets' sink)."""
+        if not packet.is_ack:
+            return
+        self._take_rtt_sample(packet)
+        controller = self.controller
+        if controller is not None and packet.ecn_echo:
+            controller.on_ecn(self)
+        if packet.sack_seq >= self.acked and packet.sack_seq not in self._sacked:
+            self._sacked.add(packet.sack_seq)
+            self._retx_outstanding.discard(packet.sack_seq)
+            if packet.sack_seq > self._max_sacked:
+                self._max_sacked = packet.sack_seq
+        if packet.ack_seq > self.acked:
+            self._handle_new_ack(packet.ack_seq)
+        elif packet.ack_seq == self.acked and self.high_water > self.acked:
+            self._handle_dup_ack()
+        if self.in_recovery:
+            self._pipe_cache = self._compute_pipe()
+        self._send_available()
+
+    def _take_rtt_sample(self, packet: Packet) -> None:
+        sample = self.sim.now - packet.echo_time
+        if sample <= 0:
+            return
+        self.latest_rtt = sample
+        if sample < self.base_rtt:
+            self.base_rtt = sample
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = min(MAX_RTO, max(MIN_RTO, self.srtt + 4 * self.rttvar))
+        if self.controller is not None:
+            self.controller.on_rtt(self, sample)
+
+    def _handle_new_ack(self, ack_seq: int) -> None:
+        newly = ack_seq - self.acked
+        self.acked = ack_seq
+        self.dup_acks = 0
+        self._rto_backoff = 1.0
+        if self._sacked:
+            self._sacked = {s for s in self._sacked if s >= ack_seq}
+        if self._retx_outstanding:
+            self._retx_outstanding = {
+                s for s in self._retx_outstanding if s >= ack_seq
+            }
+        self.supply.note_acked(newly, self.sim.now)
+        if self.in_recovery:
+            if self.acked >= self.recover_point:
+                self._exit_recovery()
+                self._grow_window(newly)
+            elif self._rto_recovery:
+                # Post-RTO the window regrows from 1 via slow start even
+                # while holes are being refilled, as Linux does.
+                self._grow_window(newly)
+        else:
+            self._grow_window(newly)
+        if self.inflight > 0:
+            self._restart_rto_timer()
+        else:
+            self._cancel_rto_timer()
+
+    def _exit_recovery(self) -> None:
+        self.in_recovery = False
+        self._rto_recovery = False
+        self._retransmitted_holes.clear()
+        self._retx_outstanding.clear()
+        self._pipe_cache = 0
+
+    def _grow_window(self, newly_acked: int) -> None:
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0  # slow start (uncoupled, as in the kernel)
+                self._hystart_check()
+            elif self.controller is not None:
+                self.controller.on_ack(self)
+            else:
+                self.cwnd += 1.0 / self.cwnd  # bare Reno fallback
+
+    def _hystart_check(self) -> None:
+        """HyStart-style delay-increase exit from slow start.
+
+        Linux (which the paper's kernel v0.90 inherits) leaves slow start
+        when the RTT has risen measurably above its floor, long before the
+        queue overflows; without this, slow start overshoots by a full
+        bandwidth-delay product and the resulting mass loss dominates every
+        short transfer.
+        """
+        if self.latest_rtt is None or self.base_rtt == float("inf"):
+            return
+        if self.cwnd < 16:
+            return
+        # Exit when queueing has inflated the RTT by half the propagation
+        # floor (min 8 ms) — late enough not to strand high-BDP paths in
+        # congestion avoidance at a tiny window, early enough to avoid the
+        # full buffer-overflow burst on short-RTT paths.
+        threshold = self.base_rtt + max(0.008, self.base_rtt / 2)
+        if self.latest_rtt > threshold:
+            self.ssthresh = self.cwnd
+
+    def _handle_dup_ack(self) -> None:
+        self.dup_acks += 1
+        if self.dup_acks == 3 and not self.in_recovery:
+            self._enter_fast_recovery()
+
+    def _enter_fast_recovery(self) -> None:
+        self.fast_retransmits += 1
+        self.loss_events += 1
+        self.in_recovery = True
+        self._rto_recovery = False
+        self.recover_point = self.high_water
+        self._retransmitted_holes.clear()
+        self._retx_outstanding.clear()
+        self._hole_scan = self.acked
+        if self.controller is not None:
+            self.controller.on_loss(self)
+        else:
+            self.cwnd = max(1.0, self.cwnd / 2)
+        self.ssthresh = max(2.0, self.cwnd)
+        # The first hole (the cumulative-ACK point) is retransmitted
+        # immediately; further holes are filled by _send_available as the
+        # pipe drains.
+        self._retransmitted_holes.add(self.acked)
+        self._retx_outstanding.add(self.acked)
+        self._send_segment(self.acked, is_retransmit=True)
+        self._pipe_cache = self._compute_pipe()
+        self._restart_rto_timer()
+
+    # ---------------------------------------------------------------- timers
+
+    def _ensure_rto_timer(self) -> None:
+        if self._rto_event is None:
+            self._restart_rto_timer()
+
+    def _restart_rto_timer(self) -> None:
+        self._cancel_rto_timer()
+        self._rto_event = self.sim.schedule(self.rto * self._rto_backoff, self._on_rto)
+
+    def _cancel_rto_timer(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.inflight == 0 or self.supply.completed:
+            return
+        self.timeouts += 1
+        self.loss_events += 1
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = 1.0
+        self.dup_acks = 0
+        # RTO starts a fresh recovery episode: every unSACKed segment below
+        # the current send frontier is presumed lost and refilled via
+        # hole retransmission, with the window regrowing in slow start.
+        self.in_recovery = True
+        self._rto_recovery = True
+        self.recover_point = self.high_water
+        self._retransmitted_holes.clear()
+        self._retx_outstanding.clear()
+        self._hole_scan = self.acked
+        self._rto_backoff = min(64.0, self._rto_backoff * 2)
+        if self.controller is not None:
+            self.controller.on_timeout(self)
+        self._retransmitted_holes.add(self.acked)
+        self._retx_outstanding.add(self.acked)
+        self._send_segment(self.acked, is_retransmit=True)
+        self._pipe_cache = self._compute_pipe()
+        self._restart_rto_timer()
+
+    # ------------------------------------------------------------- reporting
+
+    def goodput_bps(self, elapsed: Optional[float] = None) -> float:
+        """Average goodput in bits/second since the flow started."""
+        if self.start_time is None:
+            return 0.0
+        if elapsed is None:
+            end = (
+                self.supply.completion_time
+                if self.supply.completion_time is not None
+                else self.sim.now
+            )
+            elapsed = end - self.start_time
+        if elapsed <= 0:
+            return 0.0
+        return self.acked * self.mss * 8 / elapsed

@@ -1,0 +1,113 @@
+"""Periodic samplers and monitors for flows and links.
+
+Monitors produce the time series behind the paper's trace figures (Fig. 8's
+LIA vs modified-LIA traces) and feed the energy accounting, which integrates
+power over sampled throughput exactly as Eq. (2) integrates
+``P_r(tau_r, RTT_r)`` over the transfer duration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.events import Simulator
+    from repro.net.link import Link
+    from repro.net.mptcp import MptcpConnection
+
+
+class PeriodicSampler:
+    """Calls ``callback(now)`` every ``interval`` seconds until stopped."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        callback: Callable[[float], None],
+        *,
+        until: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.until = until
+        self._stopped = False
+        sim.schedule(interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling after the current tick."""
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        if self.until is not None and self.sim.now > self.until:
+            return
+        self.callback(self.sim.now)
+        self.sim.schedule(self.interval, self._tick)
+
+
+class FlowMonitor:
+    """Samples per-subflow and aggregate goodput and RTT of one connection."""
+
+    def __init__(self, sim: "Simulator", connection: "MptcpConnection", interval: float = 0.1):
+        self.connection = connection
+        self.interval = interval
+        self.times: List[float] = []
+        #: Aggregate goodput per sample window, bits/second.
+        self.goodput_bps: List[float] = []
+        #: Per-subflow goodput series, indexed [subflow][sample].
+        self.subflow_goodput_bps: List[List[float]] = [[] for _ in connection.subflows]
+        #: Per-subflow smoothed RTT series, seconds.
+        self.subflow_rtt: List[List[float]] = [[] for _ in connection.subflows]
+        #: Per-subflow congestion windows, segments.
+        self.subflow_cwnd: List[List[float]] = [[] for _ in connection.subflows]
+        self._last_acked = 0
+        self._last_sf_delivered = [0 for _ in connection.subflows]
+        self._sampler = PeriodicSampler(sim, interval, self._sample)
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._sampler.stop()
+
+    def _sample(self, now: float) -> None:
+        conn = self.connection
+        self.times.append(now)
+        acked = conn.supply.acked
+        mss = conn.subflows[0].mss
+        self.goodput_bps.append((acked - self._last_acked) * mss * 8 / self.interval)
+        self._last_acked = acked
+        for i, sf in enumerate(conn.subflows):
+            delivered = sf.acked
+            delta = delivered - self._last_sf_delivered[i]
+            self._last_sf_delivered[i] = delivered
+            self.subflow_goodput_bps[i].append(delta * mss * 8 / self.interval)
+            self.subflow_rtt[i].append(sf.rtt)
+            self.subflow_cwnd[i].append(sf.cwnd)
+
+
+class LinkMonitor:
+    """Samples occupancy and utilization of a set of links."""
+
+    def __init__(self, sim: "Simulator", links: Sequence["Link"], interval: float = 0.1):
+        self.links = list(links)
+        self.interval = interval
+        self.times: List[float] = []
+        self.occupancy: List[List[int]] = [[] for _ in self.links]
+        self.utilization: List[List[float]] = [[] for _ in self.links]
+        self._last_bytes = [0 for _ in self.links]
+        self._sampler = PeriodicSampler(sim, interval, self._sample)
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._sampler.stop()
+
+    def _sample(self, now: float) -> None:
+        self.times.append(now)
+        for i, link in enumerate(self.links):
+            self.occupancy[i].append(link.queue.occupancy())
+            delta = link.bytes_sent - self._last_bytes[i]
+            self._last_bytes[i] = link.bytes_sent
+            self.utilization[i].append(min(1.0, delta * 8 / (link.rate_bps * self.interval)))

@@ -1,0 +1,166 @@
+"""MPTCP connection layer: multiple subflows, one coupled controller.
+
+Mirrors the structure of the MPTCP Linux kernel v0.90 the paper builds on:
+an MPTCP connection owns one congestion-control instance and several
+subflows, each with an independent congestion window; the controller's
+per-ACK increase rule couples the windows (Section IV's model, Eq. 3).
+
+Data scheduling uses a pull model: whenever a subflow has window space it
+pulls the next segment from the connection's shared
+:class:`~repro.net.flow.SegmentSupply`. This matches the paper's workloads
+(bulk transfers and long-lived flows), where the scheduler is not the
+bottleneck and congestion control alone determines per-path rates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.flow import SegmentSupply, TcpSender
+from repro.net.routing import Route
+from repro.units import DEFAULT_MSS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.algorithms.base import CongestionController
+    from repro.net.events import Simulator
+
+_flow_ids = itertools.count(1)
+
+
+class MptcpConnection:
+    """An end-to-end (possibly multipath) transport connection.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    routes:
+        One :class:`Route` per subflow. A single route gives ordinary
+        single-path TCP behaviour under whatever controller is supplied.
+    controller:
+        The coupled congestion controller instance (not shared between
+        connections).
+    total_bytes:
+        Transfer size; ``None`` for an unbounded (long-lived) flow.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        routes: Sequence[Route],
+        controller: "CongestionController",
+        *,
+        total_bytes: Optional[int] = None,
+        mss: int = DEFAULT_MSS,
+        initial_cwnd: float = 2.0,
+        rcv_buffer_bytes: Optional[int] = None,
+        scheduler: Optional[str] = None,
+        delayed_acks: bool = False,
+        name: str = "",
+    ):
+        if not routes:
+            raise ConfigurationError("a connection needs at least one route")
+        self.sim = sim
+        self.name = name
+        self.controller = controller
+        total_segments = None
+        if total_bytes is not None:
+            total_segments = max(1, -(-total_bytes // mss))  # ceil division
+        self.supply = SegmentSupply(total_segments)
+        self.scheduler = None
+        if scheduler is not None:
+            from repro.net.scheduler import create_scheduler
+
+            self.scheduler = create_scheduler(scheduler)
+            self.supply.scheduler = self.scheduler
+        rcv_segments = None
+        if rcv_buffer_bytes is not None:
+            rcv_segments = max(1, rcv_buffer_bytes // mss)
+        self.subflows: List[TcpSender] = []
+        for route in routes:
+            sender = TcpSender(
+                sim,
+                next(_flow_ids),
+                route,
+                self.supply,
+                mss=mss,
+                initial_cwnd=initial_cwnd,
+                rcv_buffer_segments=rcv_segments,
+                ecn_capable=controller.ecn_capable,
+                delayed_acks=delayed_acks,
+            )
+            sender.controller = controller
+            sender.subflow_index = len(self.subflows)
+            self.subflows.append(sender)
+        controller.attach(self.subflows)
+        if self.scheduler is not None:
+            self.scheduler.attach(self.subflows)
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def n_subflows(self) -> int:
+        """Number of subflows in this connection."""
+        return len(self.subflows)
+
+    @property
+    def completed(self) -> bool:
+        """True once a finite transfer has been fully acknowledged."""
+        return self.supply.completed
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """Absolute time the last segment was acknowledged, if finished."""
+        return self.supply.completion_time
+
+    @property
+    def acked_bytes(self) -> int:
+        """Bytes acknowledged across all subflows."""
+        return self.supply.acked * self.subflows[0].mss
+
+    def start(self, at: float = 0.0) -> None:
+        """Start all subflows at absolute time ``at``."""
+        for sf in self.subflows:
+            sf.start(at)
+
+    def aggregate_goodput_bps(self, elapsed: Optional[float] = None) -> float:
+        """Aggregate goodput in bits/second over the transfer (or ``elapsed``)."""
+        starts = [sf.start_time for sf in self.subflows if sf.start_time is not None]
+        if not starts:
+            return 0.0
+        if elapsed is None:
+            end = self.completion_time if self.completion_time is not None else self.sim.now
+            elapsed = end - min(starts)
+        if elapsed <= 0:
+            return 0.0
+        return self.supply.acked * self.subflows[0].mss * 8 / elapsed
+
+    def subflow_goodputs_bps(self) -> List[float]:
+        """Per-subflow goodput in bits/second."""
+        return [sf.goodput_bps() for sf in self.subflows]
+
+    def total_loss_events(self) -> int:
+        """Fast-retransmit plus timeout events across subflows."""
+        return sum(sf.loss_events for sf in self.subflows)
+
+    def total_retransmissions(self) -> int:
+        """Retransmitted segments across subflows."""
+        return sum(sf.retransmitted for sf in self.subflows)
+
+    def mean_rtt(self) -> float:
+        """Inflight-weighted mean smoothed RTT across subflows, in seconds."""
+        weights = []
+        rtts = []
+        for sf in self.subflows:
+            weights.append(max(sf.cwnd, 1.0))
+            rtts.append(sf.rtt)
+        total = sum(weights)
+        return sum(w * r for w, r in zip(weights, rtts)) / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MptcpConnection {self.name or id(self)} "
+            f"{self.n_subflows} subflows, {self.controller.name}>"
+        )

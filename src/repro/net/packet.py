@@ -1,0 +1,134 @@
+"""Packet representation for the packet-level simulator.
+
+Packets are source-routed: each packet carries the full sequence of
+:class:`~repro.net.link.Link` objects it must traverse plus a hop index.
+Switch forwarding therefore costs one list index per hop, which keeps the
+pure-Python event loop fast while still exercising every queue on the path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.units import ACK_BYTES, DEFAULT_PACKET_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.link import Link
+
+
+class Packet:
+    """A data segment or an ACK.
+
+    Sequence numbers are in MSS-sized segments, not bytes; the byte size is
+    carried separately for serialization timing and throughput accounting.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "size_bytes",
+        "is_ack",
+        "ack_seq",
+        "route",
+        "hop",
+        "sink",
+        "sent_time",
+        "echo_time",
+        "ecn_capable",
+        "ecn_ce",
+        "ecn_echo",
+        "is_retransmit",
+        "sack_seq",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        seq: int,
+        size_bytes: int,
+        route: Sequence["Link"],
+        sink,
+        *,
+        is_ack: bool = False,
+        ack_seq: int = -1,
+        sent_time: float = 0.0,
+        echo_time: float = 0.0,
+        ecn_capable: bool = False,
+        is_retransmit: bool = False,
+    ):
+        self.flow_id = flow_id
+        self.seq = seq
+        self.size_bytes = size_bytes
+        self.is_ack = is_ack
+        self.ack_seq = ack_seq
+        self.route = route
+        self.hop = 0
+        self.sink = sink
+        self.sent_time = sent_time
+        self.echo_time = echo_time
+        self.ecn_capable = ecn_capable
+        self.ecn_ce = False
+        self.ecn_echo = False
+        self.is_retransmit = is_retransmit
+        #: For ACKs: the out-of-order data seq this ACK selectively
+        #: acknowledges (-1 when none) — a one-block SACK option.
+        self.sack_seq = -1
+
+    @classmethod
+    def data(
+        cls,
+        flow_id: int,
+        seq: int,
+        route: Sequence["Link"],
+        sink,
+        now: float,
+        *,
+        size_bytes: int = DEFAULT_PACKET_BYTES,
+        ecn_capable: bool = False,
+        is_retransmit: bool = False,
+    ) -> "Packet":
+        """Build a data segment stamped with its send time."""
+        return cls(
+            flow_id,
+            seq,
+            size_bytes,
+            route,
+            sink,
+            sent_time=now,
+            ecn_capable=ecn_capable,
+            is_retransmit=is_retransmit,
+        )
+
+    @classmethod
+    def ack(
+        cls,
+        flow_id: int,
+        ack_seq: int,
+        route: Sequence["Link"],
+        sink,
+        now: float,
+        *,
+        echo_time: float,
+        ecn_echo: bool = False,
+        sack_seq: int = -1,
+    ) -> "Packet":
+        """Build a cumulative ACK echoing the data packet's send time."""
+        pkt = cls(
+            flow_id,
+            -1,
+            ACK_BYTES,
+            route,
+            sink,
+            is_ack=True,
+            ack_seq=ack_seq,
+            sent_time=now,
+            echo_time=echo_time,
+        )
+        pkt.ecn_echo = ecn_echo
+        pkt.sack_seq = sack_seq
+        return pkt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ACK" if self.is_ack else "DATA"
+        num = self.ack_seq if self.is_ack else self.seq
+        return f"<{kind} flow={self.flow_id} seq={num} hop={self.hop}/{len(self.route)}>"

@@ -1,0 +1,158 @@
+"""MPTCP packet schedulers: which subflow gets the next fresh segment.
+
+For the window-limited bulk transfers of the paper's figures the scheduler
+is irrelevant (congestion control determines per-path rates), but for
+application-limited traffic — the streaming extension — it decides which
+path carries the bytes. Three policies mirror the MPTCP Linux kernel's
+options:
+
+- :class:`GreedyScheduler` — first-come-first-served pull (the default
+  here; whichever subflow has window space when its ACK clock ticks takes
+  the data);
+- :class:`MinRttScheduler` — the kernel's default policy: prefer the
+  lowest-SRTT subflow that has window space;
+- :class:`RoundRobinScheduler` — the kernel's ``roundrobin`` module.
+
+Schedulers arbitrate inside :meth:`SegmentSupply.take`: when a
+non-preferred subflow asks for data while a preferred one has window
+space, the request is denied and the preferred sender is poked to pull
+immediately.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.flow import TcpSender
+
+
+def _has_window_space(sender: "TcpSender") -> bool:
+    return sender.started and sender.inflight < int(min(sender.cwnd, sender.rwnd))
+
+
+class SubflowScheduler(ABC):
+    """Arbitrates fresh-segment grants across a connection's subflows."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.subflows: List["TcpSender"] = []
+
+    def attach(self, subflows: Sequence["TcpSender"]) -> None:
+        """Bind to the connection's subflows."""
+        self.subflows = list(subflows)
+
+    @abstractmethod
+    def preferred(self, requester: "TcpSender") -> Optional["TcpSender"]:
+        """The subflow that should take the next segment instead of
+        ``requester``, or None when the requester may proceed."""
+
+    def grants(self, requester: "TcpSender") -> bool:
+        """Whether ``requester`` may pull the next segment now.
+
+        When another subflow is preferred and can send, it is poked so the
+        segment leaves immediately on the better path.
+        """
+        better = self.preferred(requester)
+        if better is None or better is requester:
+            return True
+        better._send_available()
+        # The poke may have consumed the data or filled the better path's
+        # window; either way the requester may retry for what remains.
+        return not _has_window_space(better)
+
+
+class GreedyScheduler(SubflowScheduler):
+    """No arbitration: every subflow pulls as its own ACK clock allows."""
+
+    name = "greedy"
+
+    def preferred(self, requester: "TcpSender") -> Optional["TcpSender"]:
+        return None
+
+
+class MinRttScheduler(SubflowScheduler):
+    """Prefer the lowest-SRTT subflow with window space (kernel default)."""
+
+    name = "minrtt"
+
+    def preferred(self, requester: "TcpSender") -> Optional["TcpSender"]:
+        candidates = [s for s in self.subflows if _has_window_space(s)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: s.rtt)
+
+
+class RoundRobinScheduler(SubflowScheduler):
+    """Equalize segment grants across subflows (quota round-robin).
+
+    A strict turn pointer starves slow subflows in a distributed-pull
+    sender (fast paths generate far more pull opportunities), so this
+    scheduler balances *cumulative grant counts* instead: a requester that
+    is ahead of a sendable laggard first pokes the laggard to catch up,
+    then proceeds — work-conserving and fair in the long run.
+    """
+
+    name = "roundrobin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._granted: dict = {}
+        self._poking = False
+
+    def attach(self, subflows: Sequence["TcpSender"]) -> None:
+        super().attach(subflows)
+        self._granted = {id(s): 0 for s in subflows}
+
+    def grants(self, requester: "TcpSender") -> bool:
+        if not self.subflows:
+            return True
+        mine = self._granted.get(id(requester), 0)
+        if not self._poking:
+            laggards = [
+                s for s in self.subflows
+                if s is not requester
+                and self._granted.get(id(s), 0) < mine
+                and _has_window_space(s)
+            ]
+            if laggards:
+                target = min(laggards, key=lambda s: self._granted.get(id(s), 0))
+                self._poking = True
+                try:
+                    target._send_available()
+                finally:
+                    self._poking = False
+        self._granted[id(requester)] = mine + 1
+        return True
+
+    def preferred(self, requester: "TcpSender") -> Optional["TcpSender"]:
+        laggards = [
+            s for s in self.subflows
+            if _has_window_space(s)
+            and self._granted.get(id(s), 0)
+            < self._granted.get(id(requester), 0)
+        ]
+        if not laggards:
+            return None
+        return min(laggards, key=lambda s: self._granted.get(id(s), 0))
+
+
+_SCHEDULERS = {
+    "greedy": GreedyScheduler,
+    "minrtt": MinRttScheduler,
+    "roundrobin": RoundRobinScheduler,
+}
+
+
+def create_scheduler(name: str) -> SubflowScheduler:
+    """Instantiate a scheduler by name."""
+    key = name.strip().lower()
+    if key not in _SCHEDULERS:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; known: {', '.join(sorted(_SCHEDULERS))}"
+        )
+    return _SCHEDULERS[key]()

@@ -1,0 +1,108 @@
+"""Per-event flow tracing — a tcpdump-like debugging aid.
+
+Attach a :class:`FlowTracer` to a connection to record a bounded log of
+transport events (sends, ACKs, retransmissions, recovery transitions,
+timeouts) with timestamps. Used by tests to assert event orderings and by
+humans to debug algorithm behaviour; disabled by default because it hooks
+the sender's hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.mptcp import MptcpConnection
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded transport event."""
+
+    time: float
+    subflow: int
+    kind: str  # send | retransmit | ack | loss | timeout | recovery-exit
+    seq: int
+    cwnd: float
+
+
+class FlowTracer:
+    """Records transport events of one connection (bounded ring)."""
+
+    def __init__(self, connection: "MptcpConnection", *, max_events: int = 100_000):
+        self.connection = connection
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self._install()
+
+    def _install(self) -> None:
+        for index, sender in enumerate(self.connection.subflows):
+            self._wrap_sender(sender, index)
+
+    def _record(self, sender, index: int, kind: str, seq: int) -> None:
+        if len(self.events) >= self.max_events:
+            return
+        self.events.append(
+            TraceEvent(sender.sim.now, index, kind, seq, sender.cwnd)
+        )
+
+    def _wrap_sender(self, sender, index: int) -> None:
+        original_send = sender._send_segment
+        original_new_ack = sender._handle_new_ack
+        original_enter = sender._enter_fast_recovery
+        original_exit = sender._exit_recovery
+        original_rto = sender._on_rto
+
+        def send_segment(seq, *, is_retransmit):
+            self._record(sender, index,
+                         "retransmit" if is_retransmit else "send", seq)
+            return original_send(seq, is_retransmit=is_retransmit)
+
+        def handle_new_ack(ack_seq):
+            self._record(sender, index, "ack", ack_seq)
+            return original_new_ack(ack_seq)
+
+        def enter_fast_recovery():
+            self._record(sender, index, "loss", sender.acked)
+            return original_enter()
+
+        def exit_recovery():
+            self._record(sender, index, "recovery-exit", sender.acked)
+            return original_exit()
+
+        def on_rto():
+            # Only record when the timer actually fires with work to do.
+            if sender.inflight > 0 and not sender.supply.completed:
+                self._record(sender, index, "timeout", sender.acked)
+            return original_rto()
+
+        sender._send_segment = send_segment
+        sender._handle_new_ack = handle_new_ack
+        sender._enter_fast_recovery = enter_fast_recovery
+        sender._exit_recovery = exit_recovery
+        sender._on_rto = on_rto
+
+    # ------------------------------------------------------------ queries
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of one kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        """Earliest event of a kind, or None."""
+        for e in self.events:
+            if e.kind == kind:
+                return e
+        return None
+
+    def summary(self) -> dict:
+        """Event counts by kind."""
+        out: dict = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out

@@ -1,0 +1,168 @@
+"""The paper's two testbed scenarios (Fig. 5) on the packet engine.
+
+Scenario (a) — *increasing throughput*: N MPTCP users (two paths each) and
+2N regular-TCP users (N per path) share two bottleneck links. This is the
+resource-pooling stress test behind Fig. 6.
+
+Scenario (b) — *shifting traffic*: one MPTCP connection over two paths, each
+path intermittently degraded by Pareto-burst cross traffic so the four path
+quality states (Good/Bad x Good/Bad) occur at random. Behind Figs. 7-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.mptcp import MptcpConnection
+from repro.net.network import Network
+from repro.net.queues import DropTailQueue
+from repro.net.routing import Route
+from repro.units import mbps, ms
+from repro.workloads.pareto_bursts import ParetoBurstSource
+
+
+@dataclass
+class SharedBottleneckScenario:
+    """Realized Fig. 5(a) network plus its connections."""
+
+    network: Network
+    mptcp_connections: List[MptcpConnection]
+    tcp_connections: List[MptcpConnection]
+    bottleneck_routes: List[Route]
+
+    def start_all(self, jitter: float = 0.05) -> None:
+        """Start every connection, de-synchronized by a small random jitter
+        so slow starts don't phase-lock."""
+        rng = self.network.sim.rng
+        for conn in self.mptcp_connections + self.tcp_connections:
+            conn.start(at=float(rng.uniform(0.0, jitter)))
+
+
+def build_shared_bottleneck(
+    *,
+    n_mptcp: int,
+    algorithm: str,
+    transfer_bytes: int,
+    n_tcp_per_path: Optional[int] = None,
+    bottleneck_bps: float = mbps(100),
+    bottleneck_delay: float = ms(10),
+    access_delay: float = ms(1),
+    queue_packets: int = 120,
+    seed: Optional[int] = None,
+) -> SharedBottleneckScenario:
+    """Build the Fig. 5(a) scenario.
+
+    The client and server are single machines with two NICs each (as in the
+    paper's parallel-senders setup); access links are provisioned fat enough
+    that only the two bottlenecks constrain the flows. TCP users default to
+    ``n_mptcp`` per bottleneck (the paper's 2N total).
+    """
+    if n_mptcp <= 0:
+        raise ConfigurationError(f"n_mptcp must be positive, got {n_mptcp}")
+    n_tcp = n_tcp_per_path if n_tcp_per_path is not None else n_mptcp
+    net = Network(seed=seed)
+    client = net.add_host("client")
+    server = net.add_host("server")
+    left = [net.add_switch("L1"), net.add_switch("L2")]
+    right = [net.add_switch("R1"), net.add_switch("R2")]
+    # Fat access links: the bottlenecks must be the S->S hops.
+    access_rate = bottleneck_bps * (n_mptcp + n_tcp) * 2
+    for i in range(2):
+        net.link(client, left[i], rate_bps=access_rate, delay=access_delay)
+        net.link(
+            left[i],
+            right[i],
+            rate_bps=bottleneck_bps,
+            delay=bottleneck_delay,
+            queue_factory=lambda: DropTailQueue(limit_packets=queue_packets),
+        )
+        net.link(right[i], server, rate_bps=access_rate, delay=access_delay)
+    routes = [net.route([client, left[i], right[i], server]) for i in range(2)]
+
+    mptcp_conns = [
+        net.connection(
+            routes, algorithm, total_bytes=transfer_bytes, name=f"mptcp{u}"
+        )
+        for u in range(n_mptcp)
+    ]
+    tcp_conns = []
+    for path in range(2):
+        for u in range(n_tcp):
+            tcp_conns.append(
+                net.tcp_connection(
+                    routes[path], total_bytes=transfer_bytes, name=f"tcp{path}-{u}"
+                )
+            )
+    return SharedBottleneckScenario(net, mptcp_conns, tcp_conns, routes)
+
+
+@dataclass
+class TrafficShiftingScenario:
+    """Realized Fig. 5(b) network plus its MPTCP connection and bursts."""
+
+    network: Network
+    connection: MptcpConnection
+    burst_sources: List[ParetoBurstSource]
+    routes: List[Route]
+
+    def start_all(self) -> None:
+        """Start the MPTCP connection and both cross-traffic sources."""
+        self.connection.start()
+        for src in self.burst_sources:
+            src.start()
+
+
+def build_traffic_shifting(
+    *,
+    algorithm: str,
+    transfer_bytes: Optional[int],
+    path_bps: float = mbps(100),
+    path_delay: float = ms(10),
+    burst_rate_bps: float = mbps(45),
+    mean_burst_interval: float = 10.0,
+    mean_burst_duration: float = 5.0,
+    queue_packets: int = 250,
+    seed: Optional[int] = None,
+) -> TrafficShiftingScenario:
+    """Build the Fig. 5(b) scenario: two paths, each with random Pareto
+    bursts (rate 45 Mbps, mean gap 10 s, mean duration 5 s) that create the
+    four Good/Bad path-state combinations."""
+    net = Network(seed=seed)
+    client = net.add_host("client")
+    server = net.add_host("server")
+    burst_hosts = []
+    routes = []
+    sources: List[ParetoBurstSource] = []
+    for i in range(2):
+        sa = net.add_switch(f"S{i}a")
+        sb = net.add_switch(f"S{i}b")
+        net.link(client, sa, rate_bps=path_bps * 10, delay=ms(1))
+        net.link(
+            sa,
+            sb,
+            rate_bps=path_bps,
+            delay=path_delay,
+            queue_factory=lambda: DropTailQueue(limit_packets=queue_packets),
+        )
+        net.link(sb, server, rate_bps=path_bps * 10, delay=ms(1))
+        routes.append(net.route([client, sa, sb, server]))
+        # Cross-traffic endpoints sharing only the bottleneck.
+        csrc = net.add_host(f"burst_src{i}")
+        cdst = net.add_host(f"burst_dst{i}")
+        burst_hosts.append((csrc, cdst))
+        net.link(csrc, sa, rate_bps=path_bps * 10, delay=ms(1))
+        net.link(sb, cdst, rate_bps=path_bps * 10, delay=ms(1))
+        cross_route = net.route([csrc, sa, sb, cdst])
+        sources.append(
+            ParetoBurstSource(
+                net.sim,
+                cross_route,
+                rate_bps=burst_rate_bps,
+                mean_interval=mean_burst_interval,
+                mean_duration=mean_burst_duration,
+            )
+        )
+    conn = net.connection(routes, algorithm, total_bytes=transfer_bytes, name="mptcp")
+    return TrafficShiftingScenario(net, conn, sources, routes)

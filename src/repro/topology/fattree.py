@@ -1,0 +1,105 @@
+"""FatTree(k) — Al-Fares et al. SIGCOMM'08 (paper's Fig. 11 left, Fig. 13).
+
+A k-ary fat-tree has k pods; each pod holds k/2 edge and k/2 aggregation
+switches; there are (k/2)^2 core switches; each edge switch serves k/2
+hosts. With k = 8 this gives 128 hosts and 80 switches — exactly the
+paper's "FatTree: 128 hosts, 80 switches, 100 Mbps 100 ms links".
+
+Between hosts in different pods there are (k/2)^2 equal-cost paths (choose
+the aggregation switch, then the core switch); within a pod there are k/2
+(via aggregation) or 1 (same edge switch).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.topology.base import DcTopology, PathSpec
+from repro.units import mbps, ms
+
+
+class FatTree(DcTopology):
+    """k-ary fat-tree with uniform link capacity and delay."""
+
+    def __init__(
+        self,
+        k: int = 8,
+        *,
+        link_bps: float = mbps(100),
+        link_delay: float = ms(100),
+    ):
+        if k < 2 or k % 2 != 0:
+            raise ConfigurationError(f"fat-tree arity k must be even and >= 2, got {k}")
+        super().__init__()
+        self.k = k
+        self.link_bps = link_bps
+        self.link_delay = link_delay
+        half = k // 2
+
+        self.core = [self.add_switch(f"core{i}") for i in range(half * half)]
+        self.edge: List[List[str]] = []
+        self.agg: List[List[str]] = []
+        self._host_pod = {}
+        self._host_edge = {}
+
+        for pod in range(k):
+            edges = [self.add_switch(f"p{pod}e{i}") for i in range(half)]
+            aggs = [self.add_switch(f"p{pod}a{i}") for i in range(half)]
+            self.edge.append(edges)
+            self.agg.append(aggs)
+            for e_i, edge_name in enumerate(edges):
+                for h_i in range(half):
+                    host = self.add_host(f"h{pod}_{e_i}_{h_i}")
+                    self._host_pod[host] = pod
+                    self._host_edge[host] = e_i
+                    self.add_duplex_link(
+                        host, edge_name, link_bps, link_delay, "host-sw", "sw-host"
+                    )
+                for agg_name in aggs:
+                    self.add_duplex_link(
+                        edge_name, agg_name, link_bps, link_delay, "sw-sw", "sw-sw"
+                    )
+            for a_i, agg_name in enumerate(aggs):
+                # Aggregation switch i of every pod connects to core group i.
+                for c_i in range(half):
+                    core_name = self.core[a_i * half + c_i]
+                    self.add_duplex_link(
+                        agg_name, core_name, link_bps, link_delay, "sw-sw", "sw-sw"
+                    )
+
+    def paths(self, src_host: str, dst_host: str, max_paths: int) -> List[PathSpec]:
+        if src_host == dst_host:
+            raise ConfigurationError("src and dst must differ")
+        half = self.k // 2
+        sp, se = self._host_pod[src_host], self._host_edge[src_host]
+        dp, de = self._host_pod[dst_host], self._host_edge[dst_host]
+        out: List[PathSpec] = []
+        if sp == dp and se == de:
+            out.append(
+                self.path_from_nodes([src_host, self.edge[sp][se], dst_host])
+            )
+            return out[:max_paths]
+        if sp == dp:
+            for a_i in range(half):
+                out.append(
+                    self.path_from_nodes(
+                        [src_host, self.edge[sp][se], self.agg[sp][a_i],
+                         self.edge[dp][de], dst_host]
+                    )
+                )
+                if len(out) >= max_paths:
+                    return out
+            return out
+        for a_i in range(half):
+            for c_i in range(half):
+                core_name = self.core[a_i * half + c_i]
+                out.append(
+                    self.path_from_nodes(
+                        [src_host, self.edge[sp][se], self.agg[sp][a_i], core_name,
+                         self.agg[dp][a_i], self.edge[dp][de], dst_host]
+                    )
+                )
+                if len(out) >= max_paths:
+                    return out
+        return out

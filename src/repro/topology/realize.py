@@ -1,0 +1,96 @@
+"""Realize an abstract :class:`DcTopology` on the packet-level engine.
+
+The fluid engine consumes :class:`~repro.topology.base.DcTopology`
+directly; this bridge builds the same topology as a packet-level
+:class:`~repro.net.network.Network`, so small instances can be simulated
+at full packet fidelity — the cross-engine validation path used by the
+test suite (`tests/test_realize.py`) to tie the two simulators together
+on identical networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.routing import Route
+from repro.topology.base import DcTopology, PathSpec
+
+
+@dataclass
+class RealizedTopology:
+    """A packet-level network mirroring an abstract topology."""
+
+    topology: DcTopology
+    network: Network
+    nodes: Dict[str, Node]
+
+    def route_for(self, path: PathSpec) -> Route:
+        """Translate an abstract path into a packet-level Route, using the
+        mirrored reverse links for the ACK direction."""
+        links = self.topology.links
+        forward = []
+        for li in path.link_indices:
+            spec = links[li]
+            forward.append(
+                self.network.link_between(self.nodes[spec.src], self.nodes[spec.dst])
+            )
+        reverse = []
+        for li in reversed(path.link_indices):
+            spec = links[li]
+            reverse.append(
+                self.network.link_between(self.nodes[spec.dst], self.nodes[spec.src])
+            )
+        return Route(forward, reverse)
+
+    def routes(self, src: str, dst: str, max_paths: int) -> List[Route]:
+        """Enumerate up to ``max_paths`` packet-level routes between hosts."""
+        return [self.route_for(p) for p in self.topology.paths(src, dst, max_paths)]
+
+
+def realize(
+    topology: DcTopology,
+    *,
+    seed: Optional[int] = None,
+    queue_factory: Optional[Callable[[], object]] = None,
+) -> RealizedTopology:
+    """Build a packet-level :class:`Network` mirroring ``topology``.
+
+    Every *undirected* cable of the abstract topology becomes one
+    bidirectional packet-level link pair with the abstract capacity and
+    delay. The abstract topology must list both directions of each cable
+    (as :meth:`DcTopology.add_duplex_link` guarantees).
+    """
+    net = Network(seed=seed)
+    nodes: Dict[str, Node] = {}
+    for name in topology.hosts:
+        nodes[name] = net.add_host(name)
+    for name in topology.switches:
+        nodes[name] = net.add_switch(name)
+
+    done = set()
+    for spec in topology.links:
+        key = frozenset((spec.src, spec.dst))
+        if key in done:
+            # The reverse direction: verify it mirrors the forward one.
+            reverse_idx = topology.link_id(spec.src, spec.dst)
+            fwd_idx = topology.link_id(spec.dst, spec.src)
+            fwd = topology.links[fwd_idx]
+            if fwd.capacity_bps != spec.capacity_bps or fwd.delay_s != spec.delay_s:
+                raise ConfigurationError(
+                    f"asymmetric cable {spec.src}<->{spec.dst} cannot be "
+                    "realized with Network.link()"
+                )
+            continue
+        done.add(key)
+        net.link(
+            nodes[spec.src],
+            nodes[spec.dst],
+            rate_bps=spec.capacity_bps,
+            delay=spec.delay_s,
+            queue_factory=queue_factory,
+        )
+    return RealizedTopology(topology=topology, network=net, nodes=nodes)

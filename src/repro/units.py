@@ -1,0 +1,121 @@
+"""Unit helpers and physical constants.
+
+All internal quantities in this package are SI:
+
+- time in **seconds**,
+- data rates in **bits per second**,
+- data sizes in **bytes** (the one deliberate exception to strict SI,
+  because packet and transfer sizes are universally quoted in bytes),
+- power in **watts**, energy in **joules**.
+
+These helpers are the only place where unit literals should appear in
+calling code; write ``mbps(100)`` rather than ``100 * 1e6``.
+"""
+
+from __future__ import annotations
+
+#: Default Ethernet-style maximum segment size, in bytes (payload of a
+#: 1500-byte MTU frame minus 40 bytes of TCP/IP headers).
+DEFAULT_MSS = 1460
+
+#: Full on-the-wire packet size used for serialization timing, in bytes.
+DEFAULT_PACKET_BYTES = 1500
+
+#: Size of a bare ACK segment, in bytes.
+ACK_BYTES = 40
+
+BITS_PER_BYTE = 8
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second to bits per second."""
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Megabits per second to bits per second."""
+    return value * 1e6
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second to bits per second."""
+    return value * 1e9
+
+
+def to_mbps(bits_per_second: float) -> float:
+    """Bits per second to megabits per second."""
+    return bits_per_second / 1e6
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * 1e-3
+
+
+def to_ms(seconds: float) -> float:
+    """Seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def kib(value: float) -> int:
+    """Kibibytes to bytes."""
+    return int(value * 1024)
+
+
+def mib(value: float) -> int:
+    """Mebibytes to bytes."""
+    return int(value * 1024 * 1024)
+
+
+def gib(value: float) -> int:
+    """Gibibytes to bytes."""
+    return int(value * 1024 * 1024 * 1024)
+
+
+def mb(value: float) -> int:
+    """Decimal megabytes to bytes."""
+    return int(value * 1e6)
+
+
+def gb(value: float) -> int:
+    """Decimal gigabytes to bytes."""
+    return int(value * 1e9)
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Bytes to bits."""
+    return n_bytes * BITS_PER_BYTE
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Bits to bytes."""
+    return n_bits / BITS_PER_BYTE
+
+
+def transmission_time(n_bytes: float, rate_bps: float) -> float:
+    """Time in seconds to serialize ``n_bytes`` onto a ``rate_bps`` link."""
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    return bytes_to_bits(n_bytes) / rate_bps
+
+
+def watts_to_milliwatts(watts: float) -> float:
+    """Watts to milliwatts."""
+    return watts * 1e3
+
+
+def milliwatts(value: float) -> float:
+    """Milliwatts to watts."""
+    return value * 1e-3
+
+
+def joules_per_gb(energy_joules: float, data_bytes: float) -> float:
+    """Energy overhead in joules per decimal gigabyte transferred."""
+    if data_bytes <= 0:
+        return float("inf")
+    return energy_joules / (data_bytes / 1e9)

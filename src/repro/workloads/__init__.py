@@ -1,0 +1,16 @@
+"""Workload generators: bulk transfers, Pareto bursts, DC permutations."""
+
+from repro.workloads.bulk import BulkTransferSet, staggered_bulk_transfers
+from repro.workloads.pareto_bursts import NullSink, ParetoBurstSource
+from repro.workloads.permutation import random_permutation_pairs
+from repro.workloads.streaming import StreamingSupply, attach_streaming_source
+
+__all__ = [
+    "BulkTransferSet",
+    "NullSink",
+    "ParetoBurstSource",
+    "StreamingSupply",
+    "attach_streaming_source",
+    "random_permutation_pairs",
+    "staggered_bulk_transfers",
+]

@@ -1,0 +1,52 @@
+"""Bulk-transfer workloads: the paper's 16 MB / 10 GB iperf-style flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.mptcp import MptcpConnection
+from repro.net.network import Network
+
+
+@dataclass
+class BulkTransferSet:
+    """A set of finite transfers tracked together."""
+
+    connections: List[MptcpConnection]
+
+    def completion_times(self) -> List[Optional[float]]:
+        """Per-connection completion times (None if unfinished)."""
+        return [c.completion_time for c in self.connections]
+
+    @property
+    def all_completed(self) -> bool:
+        return all(c.completed for c in self.connections)
+
+    def goodputs_bps(self) -> List[float]:
+        """Per-connection aggregate goodput."""
+        return [c.aggregate_goodput_bps() for c in self.connections]
+
+    def makespan(self) -> Optional[float]:
+        """Completion time of the slowest transfer, or None."""
+        times = self.completion_times()
+        if any(t is None for t in times):
+            return None
+        return max(times)
+
+
+def staggered_bulk_transfers(
+    network: Network,
+    connections: Sequence[MptcpConnection],
+    *,
+    jitter: float = 0.05,
+) -> BulkTransferSet:
+    """Start finite transfers with small random offsets (de-phased slow
+    starts, as concurrent senders in a real testbed would be)."""
+    if jitter < 0:
+        raise ConfigurationError(f"jitter must be >= 0, got {jitter}")
+    rng = network.sim.rng
+    for conn in connections:
+        conn.start(at=float(rng.uniform(0.0, jitter)))
+    return BulkTransferSet(list(connections))

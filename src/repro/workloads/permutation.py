@@ -1,0 +1,31 @@
+"""Datacenter permutation workload: each host sends to one random other.
+
+This is the workload of the paper's htsim experiments (Figs. 12-16),
+inherited from Raiciu et al. SIGCOMM'11: every host originates one
+long-lived MPTCP flow to a distinct random destination.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def random_permutation_pairs(
+    hosts: Sequence[str], rng: np.random.Generator
+) -> List[Tuple[str, str]]:
+    """A derangement-style pairing: each host sends to another host, no host
+    sends to itself, every host receives exactly one flow."""
+    n = len(hosts)
+    if n < 2:
+        raise ConfigurationError("need at least two hosts for a permutation")
+    perm = np.arange(n)
+    # Re-draw until it is a derangement (fast for n >= 2).
+    while True:
+        rng.shuffle(perm)
+        if not np.any(perm == np.arange(n)):
+            break
+    return [(hosts[i], hosts[int(perm[i])]) for i in range(n)]

@@ -1,0 +1,153 @@
+"""Simulation-level dynamics of each algorithm (beyond unit formulas)."""
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.monitor import LinkMonitor
+from repro.net.queues import DropTailQueue
+from repro.units import mb, mbps, ms
+
+COUPLED_ALGOS = ["lia", "olia", "balia", "ecmtcp", "dts"]
+
+
+def build_two_paths(*, rates=(mbps(100), mbps(100)), delays=(ms(10), ms(10)),
+                    losses=(0.0, 0.0), queues=(100, 100), seed=1):
+    net = Network(seed=seed)
+    a, b = net.add_host("a"), net.add_host("b")
+    routes = []
+    for i in range(2):
+        s = net.add_switch(f"s{i}")
+        net.link(a, s, rate_bps=rates[i], delay=delays[i] / 2,
+                 queue_factory=lambda q=queues[i]: DropTailQueue(limit_packets=q))
+        net.link(s, b, rate_bps=rates[i], delay=delays[i] / 2,
+                 queue_factory=lambda q=queues[i]: DropTailQueue(limit_packets=q),
+                 loss_rate=losses[i])
+        routes.append(net.route([a, s, b]))
+    return net, routes
+
+
+class TestBalancedPaths:
+    @pytest.mark.parametrize("algorithm", COUPLED_ALGOS)
+    def test_equal_paths_used_roughly_equally(self, algorithm):
+        net, routes = build_two_paths(seed=2)
+        conn = net.connection(routes, algorithm, total_bytes=mb(16))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        a, b = conn.subflows
+        share = a.acked / (a.acked + b.acked)
+        assert 0.3 < share < 0.7
+
+    @pytest.mark.parametrize("algorithm", COUPLED_ALGOS)
+    def test_transfer_completes_from_cold_start(self, algorithm):
+        net, routes = build_two_paths(seed=3)
+        conn = net.connection(routes, algorithm, total_bytes=mb(4))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        assert conn.completed
+
+
+class TestCapacityAsymmetry:
+    @pytest.mark.parametrize("algorithm", COUPLED_ALGOS)
+    def test_fat_path_carries_more(self, algorithm):
+        net, routes = build_two_paths(rates=(mbps(100), mbps(20)), seed=4)
+        conn = net.connection(routes, algorithm, total_bytes=mb(16))
+        conn.start()
+        net.run_until_complete([conn], timeout=120)
+        fat, thin = conn.subflows
+        assert fat.acked > 1.5 * thin.acked
+
+
+class TestLossAsymmetry:
+    @pytest.mark.parametrize("algorithm", ["lia", "olia", "balia", "dts"])
+    def test_lossy_path_used_less(self, algorithm):
+        net, routes = build_two_paths(losses=(0.0, 0.02), seed=5)
+        conn = net.connection(routes, algorithm, total_bytes=None)
+        conn.start()
+        net.run(until=25.0)
+        clean, lossy = conn.subflows
+        assert clean.acked > 1.5 * lossy.acked
+
+
+class TestDelayBasedBehaviour:
+    def test_wvegas_keeps_queue_near_empty(self):
+        """Vegas-style control targets a few packets of backlog, unlike
+        loss-based Reno which fills the buffer."""
+
+        def mean_occupancy(algorithm):
+            net, routes = build_two_paths(queues=(200, 200), seed=6)
+            conn = net.connection(routes, algorithm, total_bytes=None)
+            mon = LinkMonitor(net.sim, net.links, interval=0.1)
+            conn.start()
+            net.run(until=15.0)
+            flat = [v for series in mon.occupancy for v in series[20:]]
+            return sum(flat) / max(len(flat), 1)
+
+        assert mean_occupancy("wvegas") < 0.5 * mean_occupancy("reno")
+
+    def test_wvegas_still_gets_throughput(self):
+        net, routes = build_two_paths(seed=7)
+        conn = net.connection(routes, "wvegas", total_bytes=None)
+        conn.start()
+        net.run(until=20.0)
+        assert conn.aggregate_goodput_bps(elapsed=20.0) > mbps(40)
+
+
+class TestCoupledFlappiness:
+    def test_fully_coupled_concentrates_on_one_path(self):
+        """The Coupled algorithm's known flappiness: most traffic ends up
+        on one path even when both are identical."""
+        net, routes = build_two_paths(seed=8)
+        conn = net.connection(routes, "coupled", total_bytes=None)
+        conn.start()
+        net.run(until=25.0)
+        a, b = conn.subflows
+        dominant = max(a.acked, b.acked) / max(a.acked + b.acked, 1)
+        assert dominant > 0.7
+
+
+class TestEwtcpAggression:
+    def test_ewtcp_outpaces_lia_against_competition(self):
+        """EWTCP's psi_h > 1 (Condition 1 violated) shows up as a larger
+        share against a competing TCP flow on a shared bottleneck."""
+
+        def mptcp_share(algorithm):
+            net = Network(seed=9)
+            mp, tcp, srv = (net.add_host("mp"), net.add_host("tcp"),
+                            net.add_host("srv"))
+            left, right = net.add_switch("L"), net.add_switch("R")
+            net.link(mp, left, rate_bps=mbps(1000), delay=ms(1))
+            net.link(tcp, left, rate_bps=mbps(1000), delay=ms(1))
+            net.link(left, right, rate_bps=mbps(100), delay=ms(10),
+                     queue_factory=lambda: DropTailQueue(limit_packets=120))
+            net.link(right, srv, rate_bps=mbps(1000), delay=ms(1))
+            mp_route = net.route([mp, left, right, srv])
+            mptcp = net.connection([mp_route, mp_route], algorithm,
+                                   total_bytes=None)
+            tcp_conn = net.tcp_connection(net.route([tcp, left, right, srv]),
+                                          total_bytes=None)
+            mptcp.start(0.0)
+            tcp_conn.start(0.1)
+            net.run(until=30.0)
+            mp_g = mptcp.aggregate_goodput_bps(elapsed=30.0)
+            tcp_g = tcp_conn.aggregate_goodput_bps(elapsed=29.9)
+            return mp_g / (mp_g + tcp_g)
+
+        assert mptcp_share("ewtcp") > mptcp_share("lia") + 0.03
+
+
+class TestDtsEpsilonInAction:
+    def test_dts_tracks_recovering_path(self):
+        """When the bad path recovers (capacity dip ends), DTS re-grows it:
+        epsilon rises as baseRTT/RTT climbs back toward 1."""
+        net, routes = build_two_paths(queues=(400, 400), seed=10)
+        dipped = routes[1].forward[1]  # path 2's bottleneck hop
+        dipped.rate_bps = mbps(5)  # deep dip: the queue inflates the RTT
+        net.sim.schedule(8.0, lambda: setattr(dipped, "rate_bps", mbps(100)))
+        conn = net.connection(routes, "dts", total_bytes=None)
+        conn.start()
+        net.run(until=8.0)
+        during = conn.subflows[1].acked
+        net.run(until=30.0)
+        after = conn.subflows[1].acked - during
+        # Per-second deliveries on the recovered path dwarf the dip phase.
+        assert after / 22.0 > 2.0 * during / 8.0

@@ -1,0 +1,134 @@
+"""Analysis-helper tests: box stats, time series, reports, comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    bin_series,
+    box_stats,
+    crossover_points,
+    format_series,
+    format_table,
+    moving_average,
+    relative_saving,
+    summarize,
+)
+from repro.analysis.report import format_grouped
+from repro.errors import ConfigurationError
+
+
+class TestBoxStats:
+    def test_five_number_summary(self):
+        stats = box_stats(range(1, 101))
+        assert stats.minimum == 1
+        assert stats.maximum == 100
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 == pytest.approx(np.percentile(range(1, 101), 25))
+        assert stats.q3 == pytest.approx(np.percentile(range(1, 101), 75))
+
+    def test_outliers_detected(self):
+        data = [10.0] * 20 + [10.5] * 20 + [100.0]
+        stats = box_stats(data)
+        assert stats.outliers == [100.0]
+        assert stats.whisker_high <= 10.5
+
+    def test_no_outliers_whiskers_are_extremes(self):
+        stats = box_stats([1, 2, 3, 4, 5])
+        assert stats.whisker_low == 1
+        assert stats.whisker_high == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            box_stats([])
+
+    def test_iqr(self):
+        stats = box_stats(range(1, 101))
+        assert stats.iqr == pytest.approx(stats.q3 - stats.q1)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=200))
+    def test_property_invariants(self, data):
+        stats = box_stats(data)
+        assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+        assert stats.whisker_low >= stats.minimum
+        assert stats.whisker_high <= stats.maximum
+        assert stats.n == len(data)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["n"] == 3
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestTimeSeries:
+    def test_bin_series_means(self):
+        times = [0.1, 0.2, 1.1, 1.2]
+        values = [1.0, 3.0, 10.0, 20.0]
+        centres, means = bin_series(times, values, 1.0)
+        assert means == pytest.approx([2.0, 15.0])
+
+    def test_bin_series_empty(self):
+        assert bin_series([], [], 1.0) == ([], [])
+
+    def test_bin_series_validation(self):
+        with pytest.raises(ConfigurationError):
+            bin_series([1], [1, 2], 1.0)
+        with pytest.raises(ConfigurationError):
+            bin_series([1], [1], 0.0)
+
+    def test_moving_average(self):
+        assert moving_average([2, 4, 6], window=2) == pytest.approx([2, 3, 5])
+
+    def test_moving_average_window_one_is_identity(self):
+        assert moving_average([5, 7, 9], window=1) == pytest.approx([5, 7, 9])
+
+    def test_moving_average_validation(self):
+        with pytest.raises(ConfigurationError):
+            moving_average([1], window=0)
+
+
+class TestReports:
+    def test_format_table_contains_headers_and_rows(self):
+        text = format_table(["name", "value"], [["alpha", 1.5], ["beta", 2.0]])
+        assert "name" in text and "alpha" in text and "1.500" in text
+
+    def test_format_series(self):
+        text = format_series("fig", [1, 2], [10.0, 20.0])
+        assert "fig.x" in text and "20.000" in text
+
+    def test_format_grouped(self):
+        text = format_grouped("n", {"lia": {1: 5.0}, "dts": {1: 4.0, 2: 3.0}})
+        assert "lia" in text and "dts" in text
+        assert "nan" in text  # missing lia@2 shown as NaN
+
+
+class TestCompare:
+    def test_relative_saving(self):
+        assert relative_saving(100.0, 80.0) == pytest.approx(0.2)
+
+    def test_negative_saving_when_worse(self):
+        assert relative_saving(100.0, 120.0) == pytest.approx(-0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_saving(0.0, 10.0)
+
+    def test_crossover_detection(self):
+        xs = [0, 1, 2, 3]
+        a = [0, 1, 2, 3]
+        b = [3, 2, 1, 0]
+        points = crossover_points(xs, a, b)
+        assert len(points) == 1
+        assert points[0][0] == pytest.approx(1.5)
+
+    def test_no_crossover(self):
+        assert crossover_points([0, 1], [1, 2], [5, 6]) == []
+
+    def test_crossover_validation(self):
+        with pytest.raises(ConfigurationError):
+            crossover_points([0], [1, 2], [3, 4])

@@ -1,0 +1,130 @@
+"""Cross-cutting behavioural (integration) tests for the paper's claims."""
+
+import pytest
+
+from repro.net import Network
+from repro.net.queues import DropTailQueue
+from repro.units import mb, mbps, ms
+
+
+def shared_bottleneck_net(seed=1, rate=mbps(100), queue=120):
+    """One bottleneck shared by an MPTCP connection (both subflows) and a
+    regular TCP flow — the TCP-friendliness acid test."""
+    net = Network(seed=seed)
+    mp_host, tcp_host, server = (
+        net.add_host("mp"), net.add_host("tcp"), net.add_host("srv")
+    )
+    left, right = net.add_switch("L"), net.add_switch("R")
+    net.link(mp_host, left, rate_bps=rate * 10, delay=ms(1))
+    net.link(tcp_host, left, rate_bps=rate * 10, delay=ms(1))
+    net.link(left, right, rate_bps=rate, delay=ms(10),
+             queue_factory=lambda: DropTailQueue(limit_packets=queue))
+    net.link(right, server, rate_bps=rate * 10, delay=ms(1))
+    mp_route = net.route([mp_host, left, right, server])
+    tcp_route = net.route([tcp_host, left, right, server])
+    return net, mp_route, tcp_route
+
+
+@pytest.mark.parametrize("algorithm", ["lia", "olia", "balia", "dts"])
+def test_coupled_algorithms_are_tcp_friendly_on_shared_bottleneck(algorithm):
+    """An MPTCP connection whose two subflows share one bottleneck with a
+    Reno flow must not starve the Reno flow (RFC 6356 goal; Condition 1)."""
+    net, mp_route, tcp_route = shared_bottleneck_net()
+    mptcp = net.connection([mp_route, mp_route], algorithm, total_bytes=None)
+    tcp = net.tcp_connection(tcp_route, total_bytes=None)
+    mptcp.start(0.0)
+    tcp.start(0.1)
+    net.run(until=30.0)
+    mp_goodput = mptcp.aggregate_goodput_bps(elapsed=30.0)
+    tcp_goodput = tcp.aggregate_goodput_bps(elapsed=29.9)
+    # Coupled MPTCP (2 subflows) vs 1 TCP on one pipe: TCP should keep a
+    # healthy share (an uncoupled pair would push it toward 1/3).
+    assert tcp_goodput > 0.3 * mp_goodput
+    assert mp_goodput + tcp_goodput > mbps(80)
+
+
+def test_uncoupled_reno_subflows_do_starve_tcp():
+    """Control for the test above: two *uncoupled* Reno subflows should
+    grab roughly 2/3 of the pipe, showing the coupling actually bites."""
+    net, mp_route, tcp_route = shared_bottleneck_net()
+    mptcp = net.connection([mp_route, mp_route], "reno", total_bytes=None)
+    tcp = net.tcp_connection(tcp_route, total_bytes=None)
+    mptcp.start(0.0)
+    tcp.start(0.1)
+    net.run(until=30.0)
+    mp_goodput = mptcp.aggregate_goodput_bps(elapsed=30.0)
+    tcp_goodput = tcp.aggregate_goodput_bps(elapsed=29.9)
+    assert mp_goodput > 1.4 * tcp_goodput
+
+
+def test_dts_shifts_away_from_delay_inflated_path():
+    """DTS's defining behaviour (Section V.B): when one path's RTT inflates
+    far above its floor, DTS moves traffic away faster than LIA."""
+
+    def run(algorithm):
+        net = Network(seed=5)
+        a, b = net.add_host("a"), net.add_host("b")
+        routes = []
+        for i, (rate, delay, queue) in enumerate(
+            [(mbps(100), ms(10), 100), (mbps(10), ms(10), 600)]
+        ):
+            s = net.add_switch(f"s{i}")
+            net.link(a, s, rate_bps=rate * 10, delay=ms(1))
+            net.link(s, b, rate_bps=rate, delay=delay,
+                     queue_factory=lambda q=queue: DropTailQueue(limit_packets=q))
+            routes.append(net.route([a, s, b]))
+        conn = net.connection(routes, algorithm, total_bytes=None)
+        conn.start()
+        net.run(until=20.0)
+        fast, bloated = conn.subflows
+        return bloated.acked / max(conn.supply.acked, 1)
+
+    # Path 1 is slow with a deep (bufferbloated) queue: its RTT inflates
+    # hugely. DTS should route a smaller share onto it than LIA does.
+    lia_share = run("lia")
+    dts_share = run("dts")
+    assert dts_share < lia_share
+
+
+def test_more_subflows_dont_reduce_goodput_on_one_path():
+    """num_subflows > 1 on a single path (the paper's Fig. 1 knob) should
+    keep aggregate goodput roughly unchanged."""
+
+    def run(n):
+        net = Network(seed=6)
+        a, b = net.add_host("a"), net.add_host("b")
+        s = net.add_switch("s")
+        net.link(a, s, rate_bps=mbps(100), delay=ms(5),
+                 queue_factory=lambda: DropTailQueue(limit_packets=100))
+        net.link(s, b, rate_bps=mbps(100), delay=ms(5),
+                 queue_factory=lambda: DropTailQueue(limit_packets=100))
+        route = net.route([a, s, b])
+        conn = net.connection([route] * n, "lia", total_bytes=mb(8))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        return conn.aggregate_goodput_bps()
+
+    single = run(1)
+    quad = run(4)
+    assert quad == pytest.approx(single, rel=0.35)
+
+
+def test_subflows_on_same_path_raise_rtt():
+    """The paper's Fig. 4 lever: more subflows per path lengthen the path
+    delay (deeper standing queues)."""
+
+    def run(n):
+        net = Network(seed=7)
+        a, b = net.add_host("a"), net.add_host("b")
+        s = net.add_switch("s")
+        net.link(a, s, rate_bps=mbps(100), delay=ms(5),
+                 queue_factory=lambda: DropTailQueue(limit_packets=400))
+        net.link(s, b, rate_bps=mbps(100), delay=ms(5),
+                 queue_factory=lambda: DropTailQueue(limit_packets=400))
+        route = net.route([a, s, b])
+        conn = net.connection([route] * n, "lia", total_bytes=None)
+        conn.start()
+        net.run(until=15.0)
+        return conn.mean_rtt()
+
+    assert run(4) > run(1)

@@ -1,0 +1,38 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig01" in out and "fig17" in out
+
+
+def test_unknown_figure(capsys):
+    assert main(["fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown figure" in err
+
+
+def test_version_flag():
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(["--version"])
+    assert exc.value.code == 0
+
+
+def test_requires_target():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_all_figures_registered():
+    from repro.cli import _figure_runners
+
+    runners = _figure_runners()
+    expected = {"fig01", "fig02", "fig03", "fig04", "fig06", "fig07",
+                "fig08", "fig09", "fig10", "fig12", "fig13", "fig14",
+                "fig15", "fig16", "fig17"}
+    assert set(runners) == expected

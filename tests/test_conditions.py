@@ -1,0 +1,83 @@
+"""Condition 1 / Condition 2 checker tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ModelState,
+    aggregate_equilibrium_throughput,
+    check_condition1,
+    condition2_asymmetry,
+    decomposition,
+    is_pareto_optimal_candidate,
+    reno_equilibrium_throughput,
+    solve_equilibrium,
+)
+from repro.errors import ModelError
+
+
+def equilibrium(name, rtt, loss):
+    model = decomposition(name)
+    return model, solve_equilibrium(model, np.asarray(rtt), np.asarray(loss))
+
+
+class TestCondition1:
+    @pytest.mark.parametrize("name", ["lia", "olia", "balia", "ecmtcp"])
+    def test_kernel_algorithms_are_friendly(self, name):
+        model, st = equilibrium(name, [0.05, 0.05], [0.01, 0.01])
+        report = check_condition1(model, st)
+        assert report.satisfied
+        assert report.throughput_ratio <= 1.0 + 1e-6
+
+    def test_ewtcp_is_not_friendly(self):
+        model, st = equilibrium("ewtcp", [0.05, 0.05], [0.01, 0.01])
+        report = check_condition1(model, st)
+        assert not report.satisfied
+        assert report.psi_on_best_path > 1.0
+
+    def test_report_contents(self):
+        model, st = equilibrium("lia", [0.05, 0.08], [0.01, 0.02])
+        report = check_condition1(model, st)
+        assert report.beta_on_best_path == pytest.approx(0.5)
+        assert report.phi_on_best_path == pytest.approx(0.0)
+
+    def test_aggregate_throughput_formula(self):
+        model, st = equilibrium("olia", [0.05, 0.05], [0.01, 0.01])
+        agg = aggregate_equilibrium_throughput(model, st, loss_on_best=0.01)
+        reno = reno_equilibrium_throughput(0.05, 0.01)
+        # psi = 1 at the best path: aggregate equals the Reno rate.
+        assert agg == pytest.approx(reno, rel=1e-6)
+
+    def test_reno_throughput_validation(self):
+        with pytest.raises(ModelError):
+            reno_equilibrium_throughput(0.05, 0.0)
+
+    def test_aggregate_validation(self):
+        model, st = equilibrium("lia", [0.05, 0.05], [0.01, 0.01])
+        with pytest.raises(ModelError):
+            aggregate_equilibrium_throughput(model, st, loss_on_best=0)
+
+
+class TestCondition2:
+    def test_olia_is_gradient_field_at_equal_rtt(self):
+        model = decomposition("olia")
+        st = ModelState(w=np.array([8.0, 14.0]), rtt=np.array([0.05, 0.05]))
+        assert condition2_asymmetry(model, st) < 1e-3
+        assert is_pareto_optimal_candidate(model, st)
+
+    def test_lia_is_not_gradient_field_at_asymmetric_state(self):
+        model = decomposition("lia")
+        st = ModelState(w=np.array([8.0, 20.0]), rtt=np.array([0.03, 0.09]))
+        assert condition2_asymmetry(model, st) > 1e-2
+        assert not is_pareto_optimal_candidate(model, st)
+
+    def test_single_path_trivially_symmetric(self):
+        model = decomposition("lia")
+        st = ModelState(w=np.array([10.0]), rtt=np.array([0.05]))
+        assert condition2_asymmetry(model, st) == pytest.approx(0.0, abs=1e-9)
+
+    def test_custom_theta(self):
+        model = decomposition("olia")
+        st = ModelState(w=np.array([8.0, 14.0]), rtt=np.array([0.05, 0.05]))
+        value = condition2_asymmetry(model, st, theta=lambda s: s.x**2)
+        assert value < 1e-3

@@ -1,0 +1,95 @@
+"""Delayed-ACK and end-to-end ECN/DCTCP behaviour tests."""
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.queues import DropTailQueue, EcnConfig
+from repro.units import mbps, mib, ms
+
+
+def single_path(seed=1, *, ecn_threshold=None, queue=100, delay=ms(10)):
+    net = Network(seed=seed)
+    a, b = net.add_host("a"), net.add_host("b")
+    s = net.add_switch("s")
+    ecn = EcnConfig(threshold=ecn_threshold) if ecn_threshold else None
+    qf = lambda: DropTailQueue(limit_packets=queue, ecn=ecn)
+    net.link(a, s, rate_bps=mbps(100), delay=delay / 2, queue_factory=qf)
+    net.link(s, b, rate_bps=mbps(100), delay=delay / 2, queue_factory=qf)
+    return net, net.route([a, s, b])
+
+
+class TestDelayedAcks:
+    def test_transfer_completes_with_delayed_acks(self):
+        net, route = single_path()
+        conn = net.tcp_connection(route, total_bytes=mib(2), delayed_acks=True)
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        assert conn.completed
+
+    def test_fewer_acks_sent(self):
+        net1, route1 = single_path()
+        c1 = net1.tcp_connection(route1, total_bytes=mib(1))
+        c1.start()
+        net1.run_until_complete([c1], timeout=60)
+
+        net2, route2 = single_path()
+        c2 = net2.tcp_connection(route2, total_bytes=mib(1), delayed_acks=True)
+        c2.start()
+        net2.run_until_complete([c2], timeout=60)
+
+        assert c2.subflows[0].receiver.acks_sent < 0.75 * c1.subflows[0].receiver.acks_sent
+
+    def test_goodput_unharmed(self):
+        net1, route1 = single_path()
+        c1 = net1.tcp_connection(route1, total_bytes=mib(4))
+        c1.start()
+        net1.run_until_complete([c1], timeout=60)
+
+        net2, route2 = single_path()
+        c2 = net2.tcp_connection(route2, total_bytes=mib(4), delayed_acks=True)
+        c2.start()
+        net2.run_until_complete([c2], timeout=60)
+        assert c2.aggregate_goodput_bps() > 0.7 * c1.aggregate_goodput_bps()
+
+    def test_out_of_order_acked_immediately(self):
+        # With loss, recovery still works under delayed ACKs (dup-ACKs are
+        # never delayed).
+        net, route = single_path(seed=3, queue=15)
+        conn = net.tcp_connection(route, total_bytes=mib(2), delayed_acks=True)
+        conn.start()
+        net.run_until_complete([conn], timeout=120)
+        assert conn.completed
+        assert conn.subflows[0].fast_retransmits > 0
+
+
+class TestDctcpEndToEnd:
+    def test_dctcp_marks_and_cuts(self):
+        net, route = single_path(ecn_threshold=20, queue=200)
+        conn = net.tcp_connection(route, total_bytes=mib(8), algorithm="dctcp")
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        marks = sum(l.queue.marks for l in net.links if hasattr(l.queue, "marks"))
+        assert conn.completed
+        assert marks > 0
+
+    def test_dctcp_keeps_queue_shorter_than_reno(self):
+        def peak_queue(algorithm):
+            net, route = single_path(ecn_threshold=20, queue=400, delay=ms(4))
+            conn = net.tcp_connection(route, total_bytes=None, algorithm=algorithm)
+            from repro.net.monitor import LinkMonitor
+
+            mon = LinkMonitor(net.sim, net.links, interval=0.05)
+            conn.start()
+            net.run(until=10.0)
+            return max(max(series) for series in mon.occupancy)
+
+        assert peak_queue("dctcp") < peak_queue("reno")
+
+    def test_reno_ignores_marks(self):
+        net, route = single_path(ecn_threshold=20, queue=200)
+        conn = net.tcp_connection(route, total_bytes=mib(2), algorithm="reno")
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        # Reno flows are not ECN-capable: queues never mark them.
+        marks = sum(l.queue.marks for l in net.links if hasattr(l.queue, "marks"))
+        assert marks == 0

@@ -1,0 +1,156 @@
+"""DWC (Dynamic Window Coupling) tests."""
+
+import pytest
+
+from repro.algorithms import DwcController, create_controller
+from repro.net.network import Network
+from repro.net.queues import DropTailQueue
+from repro.units import mbps, ms
+
+
+def shared_bottleneck(seed=1):
+    """Both MPTCP subflows and a TCP flow through ONE bottleneck link."""
+    net = Network(seed=seed)
+    mp, tcp, srv = net.add_host("mp"), net.add_host("tcp"), net.add_host("srv")
+    left, right = net.add_switch("L"), net.add_switch("R")
+    net.link(mp, left, rate_bps=mbps(1000), delay=ms(1))
+    net.link(tcp, left, rate_bps=mbps(1000), delay=ms(1))
+    net.link(left, right, rate_bps=mbps(100), delay=ms(10),
+             queue_factory=lambda: DropTailQueue(limit_packets=120))
+    net.link(right, srv, rate_bps=mbps(1000), delay=ms(1))
+    mp_route = net.route([mp, left, right, srv])
+    tcp_route = net.route([tcp, left, right, srv])
+    return net, mp_route, tcp_route
+
+
+def disjoint_paths(seed=1):
+    """Two fully disjoint bottlenecks."""
+    net = Network(seed=seed)
+    a, b = net.add_host("a"), net.add_host("b")
+    routes = []
+    for i in range(2):
+        s = net.add_switch(f"s{i}")
+        net.link(a, s, rate_bps=mbps(100), delay=ms(10),
+                 queue_factory=lambda: DropTailQueue(limit_packets=100))
+        net.link(s, b, rate_bps=mbps(100), delay=ms(10),
+                 queue_factory=lambda: DropTailQueue(limit_packets=100))
+        routes.append(net.route([a, s, b]))
+    return net, routes
+
+
+def test_registered():
+    assert create_controller("dwc").name == "dwc"
+
+
+def test_starts_ungrouped():
+    net, routes = disjoint_paths()
+    conn = net.connection(routes, "dwc", total_bytes=None)
+    ctrl = conn.controller
+    assert ctrl.group_of(conn.subflows[0]) != ctrl.group_of(conn.subflows[1])
+
+
+def test_groups_merge_on_repeatedly_correlated_losses():
+    net, routes = disjoint_paths()
+    conn = net.connection(routes, DwcController(merge_confirmations=2),
+                          total_bytes=None)
+    ctrl = conn.controller
+    a, b = conn.subflows
+    ctrl.on_loss(a)
+    ctrl.on_loss(b)  # first correlated pair: still separate
+    assert ctrl.group_of(a) != ctrl.group_of(b)
+    ctrl.on_loss(a)
+    ctrl.on_loss(b)  # second confirmation: merged
+    assert ctrl.group_of(a) == ctrl.group_of(b)
+
+
+def test_single_coincidence_does_not_merge():
+    net, routes = disjoint_paths()
+    conn = net.connection(routes, "dwc", total_bytes=None)
+    ctrl = conn.controller
+    a, b = conn.subflows
+    ctrl.on_loss(a)
+    ctrl.on_loss(b)
+    assert ctrl.group_of(a) != ctrl.group_of(b)
+
+
+def test_disjoint_paths_stay_ungrouped_and_pool_capacity():
+    net, routes = disjoint_paths()
+    conn = net.connection(routes, "dwc", total_bytes=None)
+    conn.start()
+    net.run(until=20.0)
+    goodput = conn.aggregate_goodput_bps(elapsed=20.0)
+    # Ungrouped DWC runs Reno per path: near 2x a single path.
+    assert goodput > mbps(140)
+
+
+def test_shared_bottleneck_detected_and_friendly():
+    net, mp_route, tcp_route = shared_bottleneck()
+    mptcp = net.connection([mp_route, mp_route], "dwc", total_bytes=None)
+    tcp = net.tcp_connection(tcp_route, total_bytes=None)
+    mptcp.start(0.0)
+    tcp.start(0.1)
+    net.run(until=30.0)
+    ctrl = mptcp.controller
+    a, b = mptcp.subflows
+    # Correlated losses on the shared pipe must have merged the subflows.
+    assert ctrl.group_of(a) == ctrl.group_of(b)
+    tcp_goodput = tcp.aggregate_goodput_bps(elapsed=29.9)
+    mp_goodput = mptcp.aggregate_goodput_bps(elapsed=30.0)
+    # Coupled-once-grouped: TCP keeps a healthy share of the pipe.
+    assert tcp_goodput > 0.3 * mp_goodput
+
+
+def test_delay_condition_triggers_grouping():
+    ctrl = DwcController(delay_threshold=0.2, merge_confirmations=1)
+    net, routes = disjoint_paths()
+    conn = net.connection(routes, ctrl, total_bytes=None)
+    a, b = conn.subflows
+    a.base_rtt = b.base_rtt = 0.04
+    # Deliver inflated RTT samples to both subflows at the same time.
+    ctrl.on_rtt(a, 0.08)
+    ctrl.on_rtt(b, 0.08)
+    assert ctrl.group_of(a) == ctrl.group_of(b)
+
+
+def test_separation_after_quiet_period():
+    net, routes = disjoint_paths()
+    ctrl = DwcController(separation_timeout=0.5, merge_confirmations=1)
+    conn = net.connection(routes, ctrl, total_bytes=None)
+    a, b = conn.subflows
+    ctrl.on_loss(a)
+    ctrl.on_loss(b)
+    assert ctrl.group_of(a) == ctrl.group_of(b)
+    # b keeps seeing congestion; a stays quiet past the timeout.
+    net.sim.schedule(2.0, lambda: None)
+    net.run()
+    ctrl._note_congestion(b, net.sim.now)
+    ctrl._maybe_separate(a, net.sim.now)
+    assert ctrl.group_of(a) != ctrl.group_of(b)
+
+
+def test_grouped_increase_is_lia_like():
+    net, routes = disjoint_paths()
+    conn = net.connection(routes, DwcController(merge_confirmations=1),
+                          total_bytes=None)
+    ctrl = conn.controller
+    a, b = conn.subflows
+    a.cwnd = b.cwnd = 10.0
+    a.srtt = b.srtt = 0.05
+    ctrl.on_loss(a)
+    ctrl.on_loss(b)  # grouped; windows now 5
+    before = a.cwnd
+    ctrl.on_ack(a)
+    # Linked increase: best/(total rate)^2 with both members at w=5.
+    best = 5 / 0.05**2
+    total = 2 * 5 / 0.05
+    assert a.cwnd - before == pytest.approx(min(best / total**2, 1 / 5))
+
+
+def test_ungrouped_increase_is_reno():
+    net, routes = disjoint_paths()
+    conn = net.connection(routes, "dwc", total_bytes=None)
+    ctrl = conn.controller
+    a = conn.subflows[0]
+    a.cwnd = 10.0
+    ctrl.on_ack(a)
+    assert a.cwnd == pytest.approx(10.1)

@@ -1,0 +1,68 @@
+"""Energy-price (Eqs. 6-9) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy_price import (
+    EnergyPriceConfig,
+    per_ack_window_drain,
+    phi,
+    price_gradient,
+    utility_ep,
+)
+from repro.errors import ModelError
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = EnergyPriceConfig()
+        assert cfg.kappa > 0
+        assert cfg.rho > 0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            EnergyPriceConfig(kappa=-1)
+
+
+class TestUtility:
+    def test_no_excess_no_traffic(self):
+        assert utility_ep([0, 0], 5.0, [0, 0], rho=1.0) == 0.0
+
+    def test_queue_excess_counts(self):
+        # Queues 8 and 3 with target 5: excess 3.
+        assert utility_ep([8, 3], 5.0, [0, 0], rho=1.0) == pytest.approx(3.0)
+
+    def test_traffic_term(self):
+        assert utility_ep([0, 0], 5.0, [10, 20], rho=0.5) == pytest.approx(15.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            utility_ep([1], 5.0, [1, 2], rho=1.0)
+
+
+class TestPhi:
+    def test_gradient_composition(self):
+        cfg = EnergyPriceConfig(kappa=1.0, rho=2.0, gamma=3.0)
+        grad = price_gradient(np.array([1.0, 0.0]), np.array([4.0, 2.0]), cfg)
+        assert list(grad) == pytest.approx([3 + 8, 0 + 4])
+
+    def test_phi_scales_with_rate_squared(self):
+        cfg = EnergyPriceConfig(kappa=0.1, rho=1.0, gamma=0.0)
+        x = np.array([10.0, 20.0])
+        hops = np.array([1.0, 1.0])
+        over = np.zeros(2)
+        values = phi(x, over, hops, cfg)
+        assert values[1] == pytest.approx(4 * values[0])
+
+    def test_per_ack_drain_linear_in_window(self):
+        cfg = EnergyPriceConfig(kappa=0.01, rho=1.0, gamma=0.0)
+        w = np.array([10.0, 30.0])
+        hops = np.array([2.0, 2.0])
+        over = np.zeros(2)
+        drain = per_ack_window_drain(w, over, hops, cfg)
+        assert drain[1] == pytest.approx(3 * drain[0])
+        assert drain[0] == pytest.approx(0.01 * 2.0 * 10.0)
+
+    def test_zero_kappa_means_zero_phi(self):
+        cfg = EnergyPriceConfig(kappa=0.0)
+        assert list(phi(np.array([5.0]), np.array([1.0]), np.array([3.0]), cfg)) == [0.0]

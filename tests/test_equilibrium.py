@@ -1,0 +1,71 @@
+"""Equilibrium-solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import decomposition, reno_window, solve_equilibrium
+from repro.errors import ModelError
+
+
+class TestRenoWindow:
+    def test_closed_form(self):
+        assert reno_window(0.02) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            reno_window(0.0)
+
+
+class TestSolveEquilibrium:
+    @pytest.mark.parametrize(
+        "name", ["lia", "olia", "balia", "ecmtcp", "ewtcp", "coupled"]
+    )
+    def test_single_path_equals_reno(self, name):
+        st = solve_equilibrium(
+            decomposition(name), rtt=np.array([0.05]), loss=np.array([0.01])
+        )
+        assert st.w[0] == pytest.approx(reno_window(0.01), rel=0.01)
+
+    def test_lia_two_equal_paths_total_equals_one_reno(self):
+        st = solve_equilibrium(
+            decomposition("lia"), rtt=np.array([0.05, 0.05]),
+            loss=np.array([0.01, 0.01]),
+        )
+        assert float(np.sum(st.w)) == pytest.approx(reno_window(0.01), rel=0.02)
+
+    def test_ewtcp_two_equal_paths_total_exceeds_reno(self):
+        st = solve_equilibrium(
+            decomposition("ewtcp"), rtt=np.array([0.05, 0.05]),
+            loss=np.array([0.01, 0.01]),
+        )
+        assert float(np.sum(st.w)) > reno_window(0.01) * 1.3
+
+    def test_lower_loss_path_gets_more_window(self):
+        st = solve_equilibrium(
+            decomposition("balia"), rtt=np.array([0.05, 0.05]),
+            loss=np.array([0.005, 0.02]),
+        )
+        assert st.w[0] > st.w[1]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            solve_equilibrium(
+                decomposition("lia"), rtt=np.array([0.05]),
+                loss=np.array([0.01, 0.01]),
+            )
+
+    def test_nonpositive_loss_rejected(self):
+        with pytest.raises(ModelError):
+            solve_equilibrium(
+                decomposition("lia"), rtt=np.array([0.05]), loss=np.array([0.0])
+            )
+
+    def test_residual_small_at_solution(self):
+        model = decomposition("balia")
+        rtt = np.array([0.04, 0.07])
+        loss = np.array([0.008, 0.015])
+        st = solve_equilibrium(model, rtt, loss)
+        total = st.total_rate
+        lhs = model.psi(st) / (rtt**2 * total**2)
+        rhs = model.beta(st) * loss
+        assert np.max(np.abs(lhs - rhs) / rhs) < 0.05

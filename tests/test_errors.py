@@ -1,0 +1,33 @@
+"""Exception-hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.SimulationError,
+        errors.RoutingError,
+        errors.AlgorithmError,
+        errors.ModelError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.RoutingError("nope")
+
+
+def test_messages_preserved():
+    err = errors.ConfigurationError("bad knob")
+    assert "bad knob" in str(err)

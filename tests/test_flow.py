@@ -1,0 +1,207 @@
+"""Single-subflow TCP machinery tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.flow import SegmentSupply
+from repro.net.network import Network
+from repro.net.queues import DropTailQueue
+from repro.units import mb, mbps, mib, ms
+
+
+def single_path_net(*, rate=mbps(100), delay=ms(10), queue=100, loss=0.0,
+                    seed=1):
+    net = Network(seed=seed)
+    a, b = net.add_host("a"), net.add_host("b")
+    s = net.add_switch("s")
+    net.link(a, s, rate_bps=rate, delay=delay / 2,
+             queue_factory=lambda: DropTailQueue(limit_packets=queue))
+    net.link(s, b, rate_bps=rate, delay=delay / 2,
+             queue_factory=lambda: DropTailQueue(limit_packets=queue),
+             loss_rate=loss)
+    return net, net.route([a, s, b])
+
+
+class TestSegmentSupply:
+    def test_finite_supply_exhausts(self):
+        supply = SegmentSupply(3)
+        assert [supply.take() for _ in range(4)] == [True, True, True, False]
+
+    def test_infinite_supply_never_exhausts(self):
+        supply = SegmentSupply(None)
+        assert all(supply.take() for _ in range(1000))
+        assert not supply.completed
+
+    def test_completion_records_time_once(self):
+        supply = SegmentSupply(2)
+        supply.take(), supply.take()
+        supply.note_acked(1, now=1.0)
+        assert supply.completion_time is None
+        supply.note_acked(1, now=2.0)
+        assert supply.completion_time == 2.0
+        supply.note_acked(1, now=3.0)
+        assert supply.completion_time == 2.0
+
+    def test_completion_callback_fires(self):
+        supply = SegmentSupply(1)
+        fired = []
+        supply.on_complete = fired.append
+        supply.take()
+        supply.note_acked(1, now=5.0)
+        assert fired == [5.0]
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentSupply(0)
+
+
+class TestBasicTransfer:
+    def test_transfer_completes(self):
+        net, route = single_path_net()
+        conn = net.tcp_connection(route, total_bytes=mib(2))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        assert conn.completed
+
+    def test_goodput_approaches_capacity_for_long_transfer(self):
+        net, route = single_path_net()
+        conn = net.tcp_connection(route, total_bytes=mb(20))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        assert conn.aggregate_goodput_bps() > mbps(60)
+
+    def test_goodput_not_above_capacity(self):
+        net, route = single_path_net()
+        conn = net.tcp_connection(route, total_bytes=mb(20))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        assert conn.aggregate_goodput_bps() <= mbps(100) * 1.01
+
+    def test_cannot_start_twice(self):
+        net, route = single_path_net()
+        conn = net.tcp_connection(route, total_bytes=mib(1))
+        conn.start()
+        with pytest.raises(ConfigurationError):
+            conn.subflows[0].start()
+
+    def test_receiver_sees_all_bytes(self):
+        net, route = single_path_net()
+        conn = net.tcp_connection(route, total_bytes=mib(1))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        sf = conn.subflows[0]
+        assert sf.receiver.rcv_next == sf.supply.total
+
+
+class TestRttEstimation:
+    def test_base_rtt_close_to_propagation(self):
+        net, route = single_path_net(delay=ms(30))
+        conn = net.tcp_connection(route, total_bytes=mib(1))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        sf = conn.subflows[0]
+        assert sf.base_rtt == pytest.approx(route.base_rtt(), rel=0.05)
+
+    def test_srtt_positive_and_at_least_base(self):
+        net, route = single_path_net(delay=ms(30))
+        conn = net.tcp_connection(route, total_bytes=mib(1))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        sf = conn.subflows[0]
+        assert sf.srtt >= sf.base_rtt * 0.99
+
+    def test_rto_at_least_minimum(self):
+        net, route = single_path_net()
+        conn = net.tcp_connection(route, total_bytes=mib(1))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        assert conn.subflows[0].rto >= 0.2
+
+
+class TestLossRecovery:
+    def test_random_loss_triggers_fast_retransmit_not_only_timeouts(self):
+        net, route = single_path_net(loss=0.01, seed=3)
+        conn = net.tcp_connection(route, total_bytes=mib(4))
+        conn.start()
+        net.run_until_complete([conn], timeout=120)
+        sf = conn.subflows[0]
+        assert conn.completed
+        assert sf.fast_retransmits > 0
+        assert sf.fast_retransmits > sf.timeouts
+
+    def test_transfer_completes_under_heavy_loss(self):
+        net, route = single_path_net(loss=0.05, seed=5)
+        conn = net.tcp_connection(route, total_bytes=mib(1))
+        conn.start()
+        net.run_until_complete([conn], timeout=300)
+        assert conn.completed
+
+    def test_loss_reduces_cwnd(self):
+        net, route = single_path_net(loss=0.02, seed=2)
+        conn = net.tcp_connection(route, total_bytes=mib(2))
+        conn.start()
+        net.run_until_complete([conn], timeout=120)
+        sf = conn.subflows[0]
+        assert sf.loss_events > 0
+        # ssthresh reflects the last decrease, far below the initial 1e12.
+        assert sf.ssthresh < 1e6
+
+    def test_retransmissions_bounded_by_reasonable_overhead(self):
+        net, route = single_path_net(loss=0.01, seed=4)
+        conn = net.tcp_connection(route, total_bytes=mib(4))
+        conn.start()
+        net.run_until_complete([conn], timeout=120)
+        total_segments = conn.subflows[0].supply.total
+        assert conn.total_retransmissions() < 0.25 * total_segments
+
+    def test_queue_overflow_recovery(self):
+        # Tiny queue forces real congestion losses; transfer must finish.
+        net, route = single_path_net(queue=10, seed=6)
+        conn = net.tcp_connection(route, total_bytes=mib(2))
+        conn.start()
+        net.run_until_complete([conn], timeout=120)
+        assert conn.completed
+        assert conn.total_loss_events() > 0
+
+
+class TestReceiveWindow:
+    def test_rwnd_caps_throughput(self):
+        net, route = single_path_net(delay=ms(100))
+        # 64 KB window over 100 ms RTT caps at ~5 Mbps.
+        conn = net.tcp_connection(route, total_bytes=mib(2),
+                                  rcv_buffer_bytes=64 * 1024)
+        conn.start()
+        net.run_until_complete([conn], timeout=120)
+        limit = 64 * 1024 * 8 / 0.1
+        assert conn.aggregate_goodput_bps() <= limit * 1.1
+
+    def test_inflight_never_exceeds_rwnd(self):
+        net, route = single_path_net()
+        conn = net.tcp_connection(route, total_bytes=mib(1),
+                                  rcv_buffer_bytes=32 * 1460)
+        sf = conn.subflows[0]
+        conn.start()
+        limit = 32
+        while not conn.completed and net.sim.pending():
+            net.run(until=net.sim.now + 0.05)
+            assert sf.inflight <= limit + 1
+
+
+class TestSlowStart:
+    def test_window_grows_exponentially_initially(self):
+        net, route = single_path_net(delay=ms(40))
+        conn = net.tcp_connection(route, total_bytes=mb(8))
+        conn.start()
+        net.run(until=0.25)  # a few RTTs
+        # From IW=2, several doublings should have happened.
+        assert conn.subflows[0].cwnd >= 8
+
+    def test_hystart_exits_before_catastrophic_overshoot(self):
+        net, route = single_path_net(delay=ms(10), queue=1000)
+        conn = net.tcp_connection(route, total_bytes=mb(20))
+        conn.start()
+        net.run_until_complete([conn], timeout=60)
+        sf = conn.subflows[0]
+        # With a huge queue and delay-based exit, slow start should end
+        # without a mass-loss event.
+        assert sf.timeouts == 0

@@ -1,0 +1,197 @@
+"""Tests for the Eq. (3) model and its Section IV decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    CongestionModel,
+    ModelState,
+    decomposition,
+    decompositions,
+    make_psi_dts,
+    psi_balia,
+    psi_coupled,
+    psi_ecmtcp,
+    psi_ewtcp,
+    psi_lia,
+    psi_olia,
+    psi_wvegas,
+)
+from repro.errors import ModelError
+
+
+def state(w, rtt, base=None):
+    return ModelState(w=np.asarray(w, float), rtt=np.asarray(rtt, float),
+                      base_rtt=None if base is None else np.asarray(base, float))
+
+
+class TestModelState:
+    def test_rates(self):
+        st = state([10, 20], [0.1, 0.2])
+        assert list(st.x) == pytest.approx([100, 100])
+
+    def test_total_rate(self):
+        st = state([10, 20], [0.1, 0.2])
+        assert st.total_rate == pytest.approx(200)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            state([10, 20], [0.1])
+
+    def test_nonpositive_rtt_rejected(self):
+        with pytest.raises(ModelError):
+            state([10], [0.0])
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ModelError):
+            state([0.0], [0.1])
+
+    def test_base_rtt_defaults_to_rtt(self):
+        st = state([10], [0.1])
+        assert st.base_rtt[0] == pytest.approx(0.1)
+
+
+class TestPsiFormulas:
+    def test_lia_symmetric_is_one(self):
+        st = state([10, 10], [0.05, 0.05])
+        assert list(psi_lia(st)) == pytest.approx([1.0, 1.0])
+
+    def test_lia_favours_best_path(self):
+        st = state([20, 10], [0.05, 0.05])
+        psi = psi_lia(st)
+        assert psi[1] == pytest.approx(2.0)  # max w / w_r
+        assert psi[0] == pytest.approx(1.0)
+
+    def test_olia_is_identity(self):
+        st = state([3, 7, 11], [0.02, 0.05, 0.08])
+        assert list(psi_olia(st)) == [1.0, 1.0, 1.0]
+
+    def test_balia_symmetric_is_one(self):
+        st = state([10, 10], [0.05, 0.05])
+        assert list(psi_balia(st)) == pytest.approx([1.0, 1.0])
+
+    def test_balia_expansion(self):
+        st = state([10, 20], [0.05, 0.05])
+        alpha = 2.0
+        assert psi_balia(st)[0] == pytest.approx(0.4 + alpha / 2 + alpha**2 / 10)
+
+    def test_ewtcp_value(self):
+        st = state([10, 10], [0.05, 0.05])
+        x = 200.0
+        expected = (2 * x) ** 2 / (x**2 * np.sqrt(2))
+        assert psi_ewtcp(st)[0] == pytest.approx(expected)
+
+    def test_coupled_value(self):
+        st = state([10, 30], [0.05, 0.05])
+        total_x = 800.0
+        expected = 0.05**2 * total_x**2 / 40**2
+        assert psi_coupled(st)[0] == pytest.approx(expected)
+
+    def test_ecmtcp_symmetric_is_one(self):
+        st = state([10, 10], [0.05, 0.05])
+        assert list(psi_ecmtcp(st)) == pytest.approx([1.0, 1.0])
+
+    def test_wvegas_symmetric(self):
+        st = state([10, 10], [0.06, 0.06], base=[0.05, 0.05])
+        psi = psi_wvegas(st)
+        assert psi[0] == pytest.approx(psi[1])
+        assert psi[0] > 0
+
+    def test_dts_psi_is_epsilon(self):
+        psi = make_psi_dts()
+        st = state([10, 10], [0.1, 0.05], base=[0.05, 0.05])
+        values = psi(st)
+        assert values[0] == pytest.approx(1.0)  # ratio 1/2: centre
+        assert values[1] > 1.9  # idle path
+
+
+class TestCongestionModel:
+    def test_per_ack_vs_increase_rate_consistency(self):
+        # increase_rate = per_ack * x / rtt  (one ACK per segment).
+        model = decomposition("lia")
+        st = state([10, 25], [0.03, 0.07])
+        per_ack = model.per_ack_increase(st)
+        rate = model.increase_rate(st)
+        assert list(rate) == pytest.approx(list(per_ack * st.x / st.rtt))
+
+    def test_rate_derivative_at_balance_is_zero(self):
+        model = decomposition("olia")
+        # psi = 1: balance when 1/(rtt^2 total^2) = 0.5 * p.
+        rtt = np.array([0.05, 0.05])
+        w = np.array([10.0, 10.0])
+        st = ModelState(w=w, rtt=rtt)
+        total = st.total_rate
+        p = 2.0 / (rtt**2 * total**2) * 0.5 * 2  # solve beta*p = 1/(rtt^2 T^2)
+        p = 1.0 / (0.5 * rtt**2 * total**2)
+        deriv = model.rate_derivative(st, p)
+        assert list(deriv) == pytest.approx([0.0, 0.0], abs=1e-9)
+
+    def test_default_beta_is_half(self):
+        model = decomposition("balia")
+        st = state([10, 10], [0.05, 0.05])
+        assert list(model.beta(st)) == [0.5, 0.5]
+
+    def test_default_phi_is_zero(self):
+        model = decomposition("lia")
+        st = state([10, 10], [0.05, 0.05])
+        assert list(model.phi(st)) == [0.0, 0.0]
+
+    def test_wvegas_has_unit_step(self):
+        assert decomposition("wvegas").delta == 1.0
+        assert decomposition("lia").delta == 0.0
+
+    def test_all_decompositions_present(self):
+        names = set(decompositions())
+        assert names == {"ewtcp", "coupled", "lia", "olia", "balia",
+                         "ecmtcp", "wvegas", "dts"}
+
+    def test_unknown_decomposition_rejected(self):
+        with pytest.raises(ModelError):
+            decomposition("bbr")
+
+
+class TestControllerModelConsistency:
+    """The packet-level per-ACK rules must equal the model's translation."""
+
+    def _fake(self, w, rtt, base=None):
+        from tests.test_controllers import FakeSubflow
+
+        return [FakeSubflow(wi, ri, None if base is None else base[i])
+                for i, (wi, ri) in enumerate(zip(w, rtt))]
+
+    @pytest.mark.parametrize("name", ["lia", "balia", "ecmtcp", "ewtcp", "coupled"])
+    def test_per_ack_increase_matches_decomposition(self, name):
+        from repro.algorithms import create_controller
+
+        w = [12.0, 28.0]
+        rtt = [0.03, 0.08]
+        subflows = self._fake(w, rtt)
+        ctrl = create_controller(name)
+        ctrl.attach(subflows)
+        before = [s.cwnd for s in subflows]
+        ctrl.on_ack(subflows[0])
+        measured = subflows[0].cwnd - before[0]
+
+        model = decomposition(name)
+        st = state(w, rtt)
+        expected = model.per_ack_increase(st)[0]
+        if name == "lia":
+            expected = min(expected, 1.0 / w[0])
+        assert measured == pytest.approx(expected, rel=1e-9)
+
+    def test_dts_matches_decomposition(self):
+        from repro.algorithms import create_controller
+
+        w = [12.0, 28.0]
+        rtt = [0.06, 0.08]
+        base = [0.03, 0.08]
+        subflows = self._fake(w, rtt, base)
+        ctrl = create_controller("dts")
+        ctrl.attach(subflows)
+        before = subflows[0].cwnd
+        ctrl.on_ack(subflows[0])
+        measured = subflows[0].cwnd - before
+
+        model = CongestionModel("dts", make_psi_dts())
+        expected = model.per_ack_increase(state(w, rtt, base))[0]
+        assert measured == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,99 @@
+"""Sampler and monitor tests."""
+
+import pytest
+
+from repro.net.events import Simulator
+from repro.net.monitor import FlowMonitor, LinkMonitor, PeriodicSampler
+from repro.net.network import Network
+from repro.net.queues import DropTailQueue
+from repro.units import mbps, mib, ms
+
+
+def test_sampler_cadence():
+    sim = Simulator()
+    ticks = []
+    PeriodicSampler(sim, 0.5, ticks.append)
+    sim.run(until=2.25)
+    assert ticks == pytest.approx([0.5, 1.0, 1.5, 2.0])
+
+
+def test_sampler_stop():
+    sim = Simulator()
+    ticks = []
+    sampler = PeriodicSampler(sim, 0.5, ticks.append)
+    sim.run(until=1.0)
+    sampler.stop()
+    sim.run(until=3.0)
+    assert len(ticks) == 2
+
+
+def test_sampler_until():
+    sim = Simulator()
+    ticks = []
+    PeriodicSampler(sim, 0.5, ticks.append, until=1.4)
+    sim.run(until=5.0)
+    assert ticks == pytest.approx([0.5, 1.0])
+
+
+def test_sampler_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        PeriodicSampler(Simulator(), 0.0, lambda now: None)
+
+
+def _running_transfer():
+    net = Network(seed=1)
+    a, b = net.add_host("a"), net.add_host("b")
+    s = net.add_switch("s")
+    net.link(a, s, rate_bps=mbps(50), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=100))
+    net.link(s, b, rate_bps=mbps(50), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=100))
+    conn = net.tcp_connection(net.route([a, s, b]), total_bytes=mib(4))
+    return net, conn
+
+
+def test_flow_monitor_series_lengths_match():
+    net, conn = _running_transfer()
+    mon = FlowMonitor(net.sim, conn, interval=0.1)
+    conn.start()
+    net.run(until=1.0)
+    assert len(mon.times) == len(mon.goodput_bps)
+    assert len(mon.subflow_goodput_bps[0]) == len(mon.times)
+    assert len(mon.subflow_rtt[0]) == len(mon.times)
+    assert len(mon.subflow_cwnd[0]) == len(mon.times)
+
+
+def test_flow_monitor_sees_throughput():
+    net, conn = _running_transfer()
+    mon = FlowMonitor(net.sim, conn, interval=0.1)
+    conn.start()
+    net.run(until=1.0)
+    assert max(mon.goodput_bps) > 0
+
+
+def test_flow_monitor_goodput_integrates_to_acked():
+    net, conn = _running_transfer()
+    mon = FlowMonitor(net.sim, conn, interval=0.1)
+    conn.start()
+    net.run(until=1.0)
+    delivered_bits = sum(g * 0.1 for g in mon.goodput_bps)
+    acked_bits = conn.supply.acked * conn.subflows[0].mss * 8
+    assert delivered_bits == pytest.approx(acked_bits, rel=0.15)
+
+
+def test_link_monitor_tracks_utilization():
+    net, conn = _running_transfer()
+    mon = LinkMonitor(net.sim, net.links, interval=0.1)
+    conn.start()
+    net.run(until=1.0)
+    # The forward data links should show activity; occupancy recorded too.
+    assert any(max(series) > 0 for series in mon.utilization)
+    assert all(len(s) == len(mon.times) for s in mon.occupancy)
+
+
+def test_link_monitor_utilization_bounded():
+    net, conn = _running_transfer()
+    mon = LinkMonitor(net.sim, net.links, interval=0.1)
+    conn.start()
+    net.run(until=1.0)
+    assert all(0.0 <= u <= 1.0 for series in mon.utilization for u in series)

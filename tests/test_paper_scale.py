@@ -1,0 +1,72 @@
+"""Paper-scale preset sanity tests (presets must stay valid run() kwargs)."""
+
+import inspect
+
+from repro.experiments import (
+    fig01_power_vs_subflows,
+    fig02_mobile_power,
+    fig03_energy_vs_throughput,
+    fig06_shared_bottleneck,
+    fig07_traffic_shifting,
+    fig10_ec2,
+    fig12_14_subflows,
+    fig15_phi,
+    fig17_wireless,
+    paper_scale,
+)
+
+
+def accepts(func, kwargs):
+    params = inspect.signature(func).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return True
+    return all(k in params for k in kwargs)
+
+
+def test_fig01_preset_matches_signature():
+    assert accepts(fig01_power_vs_subflows.run, paper_scale.FIG01)
+
+
+def test_fig02_preset_matches_signature():
+    assert accepts(fig02_mobile_power.run, paper_scale.FIG02)
+
+
+def test_fig03_preset_matches_signature():
+    assert accepts(fig03_energy_vs_throughput.run, paper_scale.FIG03)
+
+
+def test_fig06_preset_matches_signature():
+    assert accepts(fig06_shared_bottleneck.run, paper_scale.FIG06)
+    assert paper_scale.FIG06["user_counts"] == [10, 20, 50, 100]
+    assert paper_scale.FIG06["transfer_bytes"] == 16_000_000
+
+
+def test_fig07_preset_matches_signature():
+    assert accepts(fig07_traffic_shifting.run, paper_scale.FIG07)
+    assert paper_scale.FIG07["mean_burst_interval"] == 10.0
+    assert paper_scale.FIG07["mean_burst_duration"] == 5.0
+
+
+def test_fig10_preset_matches_signature():
+    assert accepts(fig10_ec2.run, paper_scale.FIG10)
+    assert paper_scale.FIG10["n_hosts"] == 40
+
+
+def test_fig12_14_preset_matches_signature():
+    assert accepts(fig12_14_subflows.run_fig12, paper_scale.FIG12_14)
+    assert paper_scale.FIG12_14["duration"] == 1000.0
+    assert len(paper_scale.FIG12_14["seeds"]) == 10
+
+
+def test_fig15_preset_matches_signature():
+    assert accepts(fig15_phi.run, paper_scale.FIG15)
+    assert paper_scale.FIG15["n_subflows"] == 8
+
+
+def test_fig17_preset_matches_signature():
+    assert accepts(fig17_wireless.run, paper_scale.FIG17)
+    assert paper_scale.FIG17["duration"] == 200.0
+
+
+def test_paper_dc_delay():
+    assert paper_scale.PAPER_DC_LINK_DELAY == 0.1

@@ -1,0 +1,129 @@
+"""Property-based robustness tests (hypothesis) on the transport core.
+
+These randomize network conditions and check protocol *invariants* — the
+statements that must hold for every seed, loss rate and topology shape.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.model import ModelState, decomposition
+from repro.net.network import Network
+from repro.net.queues import DropTailQueue
+from repro.units import mbps, ms
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    loss=st.floats(min_value=0.0, max_value=0.03),
+    queue=st.integers(8, 150),
+    delay_ms=st.floats(min_value=2.0, max_value=80.0),
+)
+def test_transfer_always_completes_and_accounts(seed, loss, queue, delay_ms):
+    """Under any random loss/queue/delay mix: the transfer completes, every
+    segment is acknowledged exactly once, and counters stay consistent."""
+    net = Network(seed=seed)
+    a, b = net.add_host("a"), net.add_host("b")
+    s = net.add_switch("s")
+    net.link(a, s, rate_bps=mbps(50), delay=ms(delay_ms) / 2,
+             queue_factory=lambda: DropTailQueue(limit_packets=queue))
+    net.link(s, b, rate_bps=mbps(50), delay=ms(delay_ms) / 2,
+             queue_factory=lambda: DropTailQueue(limit_packets=queue),
+             loss_rate=loss)
+    conn = net.tcp_connection(net.route([a, s, b]), total_bytes=300_000)
+    conn.start()
+    net.run_until_complete([conn], timeout=300)
+    sf = conn.subflows[0]
+    assert conn.completed
+    assert sf.acked == conn.supply.total
+    assert sf.receiver.rcv_next == conn.supply.total
+    assert sf.cwnd >= 1.0
+    assert sf.packets_sent >= conn.supply.total
+    assert sf.retransmitted == sf.packets_sent - conn.supply.total
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    algorithm=st.sampled_from(["lia", "olia", "balia", "ecmtcp", "dts",
+                               "wvegas", "dwc"]),
+    loss=st.floats(min_value=0.0, max_value=0.02),
+)
+def test_mptcp_invariants_under_random_loss(seed, algorithm, loss):
+    """Every coupled algorithm keeps windows >= 1, never over-delivers, and
+    finishes a two-path transfer under random loss."""
+    net = Network(seed=seed)
+    a, b = net.add_host("a"), net.add_host("b")
+    routes = []
+    for i in range(2):
+        s = net.add_switch(f"s{i}")
+        net.link(a, s, rate_bps=mbps(50), delay=ms(10),
+                 queue_factory=lambda: DropTailQueue(limit_packets=60))
+        net.link(s, b, rate_bps=mbps(50), delay=ms(10),
+                 queue_factory=lambda: DropTailQueue(limit_packets=60),
+                 loss_rate=loss)
+        routes.append(net.route([a, s, b]))
+    conn = net.connection(routes, algorithm, total_bytes=300_000)
+    conn.start()
+    net.run_until_complete([conn], timeout=300)
+    assert conn.completed
+    assert all(sf.cwnd >= 1.0 for sf in conn.subflows)
+    assert sum(sf.acked for sf in conn.subflows) == conn.supply.total
+    assert conn.supply.assigned == conn.supply.total
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(1, 6),
+    data=st.data(),
+)
+def test_decomposition_psi_positive_and_finite(n, data):
+    """Every Section IV psi is positive and finite on random states."""
+    w = data.draw(st.lists(st.floats(1.0, 500.0), min_size=n, max_size=n))
+    rtt = data.draw(st.lists(st.floats(0.001, 1.0), min_size=n, max_size=n))
+    base = [r * data.draw(st.floats(0.3, 1.0)) for r in rtt]
+    state = ModelState(w=w, rtt=rtt, base_rtt=base)
+    for name in ("lia", "olia", "balia", "ecmtcp", "ewtcp", "coupled", "dts"):
+        psi = decomposition(name).psi(state)
+        assert all(p > 0 for p in psi)
+        assert all(p < 1e12 for p in psi)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    w=st.lists(st.floats(1.0, 500.0), min_size=2, max_size=5),
+    data=st.data(),
+)
+def test_per_ack_increase_bounded_by_reno_for_friendly_algorithms(w, data):
+    """LIA's capped increase never exceeds Reno's 1/w on any state."""
+    n = len(w)
+    rtt = data.draw(st.lists(st.floats(0.005, 0.5), min_size=n, max_size=n))
+    state = ModelState(w=w, rtt=rtt)
+    model = decomposition("lia")
+    import numpy as np
+
+    capped = np.minimum(model.per_ack_increase(state), 1.0 / np.asarray(w))
+    assert np.all(capped <= 1.0 / np.asarray(w) + 1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_simulation_is_deterministic_per_seed(seed):
+    """Identical seeds give bit-identical outcomes."""
+
+    def run():
+        net = Network(seed=seed)
+        a, b = net.add_host("a"), net.add_host("b")
+        net.link(a, b, rate_bps=mbps(20), delay=ms(5),
+                 queue_factory=lambda: DropTailQueue(limit_packets=30),
+                 loss_rate=0.01)
+        conn = net.tcp_connection(net.route([a, b]), total_bytes=100_000)
+        conn.start()
+        net.run_until_complete([conn], timeout=120)
+        return (conn.completion_time, conn.subflows[0].retransmitted,
+                conn.subflows[0].loss_events)
+
+    assert run() == run()

@@ -1,0 +1,129 @@
+"""Queue-discipline tests: DropTail (with ECN) and RED."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue, EcnConfig, REDQueue
+
+
+def make_packet(seq=0, ecn=False):
+    return Packet(flow_id=1, seq=seq, size_bytes=1500, route=(), sink=None,
+                  ecn_capable=ecn)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(limit_packets=10)
+        for i in range(3):
+            q.push(make_packet(seq=i))
+        assert [q.pop().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_pop_empty_returns_none(self):
+        assert DropTailQueue().pop() is None
+
+    def test_drop_when_full(self):
+        q = DropTailQueue(limit_packets=2)
+        assert q.push(make_packet())
+        assert q.push(make_packet())
+        assert not q.push(make_packet())
+        assert q.drops == 1
+        assert len(q) == 2
+
+    def test_occupancy_tracks_contents(self):
+        q = DropTailQueue(limit_packets=5)
+        q.push(make_packet())
+        q.push(make_packet())
+        q.pop()
+        assert q.occupancy() == 1
+
+    def test_enqueued_counter(self):
+        q = DropTailQueue(limit_packets=5)
+        for i in range(4):
+            q.push(make_packet(seq=i))
+        assert q.enqueued == 4
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(limit_packets=0)
+
+    def test_ecn_marks_above_threshold(self):
+        q = DropTailQueue(limit_packets=10, ecn=EcnConfig(threshold=2))
+        pkts = [make_packet(seq=i, ecn=True) for i in range(4)]
+        for p in pkts:
+            q.push(p)
+        assert [p.ecn_ce for p in pkts] == [False, False, True, True]
+        assert q.marks == 2
+
+    def test_ecn_ignores_non_capable_packets(self):
+        q = DropTailQueue(limit_packets=10, ecn=EcnConfig(threshold=1))
+        first = make_packet(ecn=False)
+        q.push(first)
+        second = make_packet(ecn=False)
+        q.push(second)
+        assert not second.ecn_ce
+        assert q.marks == 0
+
+    def test_ecn_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            EcnConfig(threshold=0)
+
+
+class TestRed:
+    def rng(self):
+        return np.random.default_rng(0)
+
+    def test_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            REDQueue(rng=None)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            REDQueue(limit_packets=10, min_th=8, max_th=5, rng=self.rng())
+
+    def test_no_early_drop_when_empty(self):
+        q = REDQueue(limit_packets=100, min_th=5, max_th=15, rng=self.rng())
+        assert all(q.push(make_packet(seq=i)) for i in range(5))
+        assert q.drops == 0
+
+    def test_hard_drop_at_limit(self):
+        q = REDQueue(limit_packets=3, min_th=1, max_th=3, max_p=0.0,
+                     rng=self.rng())
+        for i in range(3):
+            q.push(make_packet(seq=i))
+        assert not q.push(make_packet(seq=99))
+        assert q.drops == 1
+
+    def test_average_tracks_occupancy(self):
+        q = REDQueue(limit_packets=100, min_th=50, max_th=90, weight=0.5,
+                     rng=self.rng())
+        for i in range(20):
+            q.push(make_packet(seq=i))
+        assert q.average_occupancy > 0
+
+    def test_early_drops_between_thresholds(self):
+        q = REDQueue(limit_packets=1000, min_th=1, max_th=5, max_p=1.0,
+                     weight=1.0, rng=self.rng())
+        results = [q.push(make_packet(seq=i)) for i in range(200)]
+        assert q.drops > 0
+        assert not all(results)
+
+    def test_ecn_marks_instead_of_dropping(self):
+        q = REDQueue(limit_packets=1000, min_th=1, max_th=5, max_p=1.0,
+                     weight=1.0, ecn=True, rng=self.rng())
+        pkts = [make_packet(seq=i, ecn=True) for i in range(200)]
+        for p in pkts:
+            q.push(p)
+        assert q.marks > 0
+        assert q.drops == 0
+
+    def test_fifo_order(self):
+        q = REDQueue(limit_packets=100, min_th=50, max_th=90, rng=self.rng())
+        for i in range(3):
+            q.push(make_packet(seq=i))
+        assert [q.pop().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_pop_empty_returns_none(self):
+        q = REDQueue(limit_packets=10, min_th=2, max_th=8, rng=self.rng())
+        assert q.pop() is None

@@ -1,0 +1,82 @@
+"""Cross-engine topology realization tests."""
+
+import numpy as np
+import pytest
+
+from repro.fluidsim import FluidNetwork, FluidSimulation
+from repro.net.queues import DropTailQueue
+from repro.topology import BCube, Ec2Cloud, FatTree
+from repro.topology.realize import realize
+from repro.units import mbps, ms
+
+
+class TestRealization:
+    def test_node_and_link_counts(self):
+        topo = FatTree(4, link_delay=ms(1))
+        real = realize(topo)
+        assert len(real.network.hosts) == 16
+        assert len(real.network.switches) == 20
+        # Every directed abstract link exists as a packet link.
+        assert len(real.network.links) == len(topo.links)
+
+    def test_route_translation_preserves_properties(self):
+        topo = FatTree(4, link_delay=ms(1))
+        real = realize(topo)
+        path = topo.paths(topo.hosts[0], topo.hosts[-1], 1)[0]
+        route = real.route_for(path)
+        assert route.base_rtt() == pytest.approx(path.base_rtt(topo.links))
+        assert route.min_rate() == path.min_capacity(topo.links)
+        assert route.switch_hops() == path.switch_hops(topo.links)
+
+    def test_transfer_runs_on_realized_bcube(self):
+        topo = BCube(4, 1, link_delay=ms(1))
+        real = realize(topo, seed=1,
+                       queue_factory=lambda: DropTailQueue(limit_packets=100))
+        routes = real.routes(topo.hosts[0], topo.hosts[-1], 2)
+        conn = real.network.connection(routes, "lia", total_bytes=500_000)
+        conn.start()
+        real.network.run_until_complete([conn], timeout=60)
+        assert conn.completed
+
+    def test_relayed_bcube_route_is_contiguous(self):
+        topo = BCube(4, 2, link_delay=ms(1))
+        real = realize(topo, seed=1)
+        # A pair differing in all digits: paths traverse relay hosts.
+        paths = topo.paths(topo.hosts[0], topo.hosts[-1], 3)
+        for p in paths:
+            route = real.route_for(p)  # Route() validates contiguity
+            assert route.hops() == len(p.link_indices)
+
+
+class TestCrossEngineEc2:
+    """The two engines on the *same realized topology* must agree on the
+    headline Fig. 10 effect: 4-subflow MPTCP ~ 4x single-path goodput."""
+
+    def test_multipath_speedup_matches(self):
+        topo = Ec2Cloud(n_hosts=4)
+
+        # Packet engine.
+        real = realize(topo, seed=1,
+                       queue_factory=lambda: DropTailQueue(limit_packets=100))
+        routes1 = real.routes("vm0", "vm1", 1)
+        routes4 = real.routes("vm2", "vm3", 4)
+        tcp = real.network.connection(routes1, "reno", total_bytes=None)
+        mptcp = real.network.connection(routes4, "lia", total_bytes=None)
+        tcp.start(), mptcp.start()
+        real.network.run(until=10.0)
+        packet_speedup = (
+            mptcp.aggregate_goodput_bps(elapsed=10.0)
+            / tcp.aggregate_goodput_bps(elapsed=10.0)
+        )
+
+        # Fluid engine.
+        fnet = FluidNetwork(Ec2Cloud(n_hosts=4), path_seed=1)
+        fnet.add_connection("vm0", "vm1", "reno", n_subflows=1)
+        fnet.add_connection("vm2", "vm3", "lia", n_subflows=4)
+        fnet.finalize()
+        res = FluidSimulation(fnet, dt=0.001, seed=1).run(10.0)
+        fluid_speedup = res.connection_goodput_bps[1] / res.connection_goodput_bps[0]
+
+        assert packet_speedup == pytest.approx(4.0, rel=0.25)
+        assert fluid_speedup == pytest.approx(4.0, rel=0.25)
+        assert packet_speedup == pytest.approx(fluid_speedup, rel=0.3)

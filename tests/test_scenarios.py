@@ -1,0 +1,110 @@
+"""Scenario-builder tests (Fig. 5a, Fig. 5b, heterogeneous wireless)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.dumbbell import build_shared_bottleneck, build_traffic_shifting
+from repro.topology.wireless import build_wireless
+from repro.units import kib, mb, mbps, mib
+
+
+class TestSharedBottleneck:
+    def test_structure(self):
+        sc = build_shared_bottleneck(n_mptcp=3, algorithm="lia",
+                                     transfer_bytes=mib(1), seed=1)
+        assert len(sc.mptcp_connections) == 3
+        assert len(sc.tcp_connections) == 6  # 2N
+        assert len(sc.bottleneck_routes) == 2
+        assert all(c.n_subflows == 2 for c in sc.mptcp_connections)
+        assert all(c.n_subflows == 1 for c in sc.tcp_connections)
+
+    def test_bottlenecks_are_the_switch_hops(self):
+        sc = build_shared_bottleneck(n_mptcp=2, algorithm="lia",
+                                     transfer_bytes=mib(1), seed=1)
+        for route in sc.bottleneck_routes:
+            assert route.min_rate() == mbps(100)
+            rates = [l.rate_bps for l in route.forward]
+            assert rates[1] == min(rates)
+
+    def test_runs_to_completion(self):
+        sc = build_shared_bottleneck(n_mptcp=2, algorithm="olia",
+                                     transfer_bytes=400_000, seed=2)
+        sc.start_all()
+        sc.network.run_until_complete(
+            sc.mptcp_connections + sc.tcp_connections, timeout=60
+        )
+        assert all(c.completed for c in sc.mptcp_connections)
+        assert all(c.completed for c in sc.tcp_connections)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_shared_bottleneck(n_mptcp=0, algorithm="lia",
+                                    transfer_bytes=mib(1))
+
+    def test_tcp_per_path_override(self):
+        sc = build_shared_bottleneck(n_mptcp=2, n_tcp_per_path=1,
+                                     algorithm="lia", transfer_bytes=mib(1))
+        assert len(sc.tcp_connections) == 2
+
+
+class TestTrafficShifting:
+    def test_structure(self):
+        sc = build_traffic_shifting(algorithm="lia", transfer_bytes=mb(1), seed=1)
+        assert sc.connection.n_subflows == 2
+        assert len(sc.burst_sources) == 2
+
+    def test_runs_with_bursts(self):
+        sc = build_traffic_shifting(algorithm="lia", transfer_bytes=None, seed=1,
+                                    mean_burst_interval=0.5,
+                                    mean_burst_duration=0.5)
+        sc.start_all()
+        sc.network.run(until=5.0)
+        assert sum(s.packets_sent for s in sc.burst_sources) > 0
+        assert sc.connection.supply.acked > 0
+
+    def test_bursts_share_the_bottleneck(self):
+        sc = build_traffic_shifting(algorithm="lia", transfer_bytes=None, seed=1)
+        for src, route in zip(sc.burst_sources, sc.routes):
+            bottleneck = route.forward[1]
+            assert bottleneck in tuple(src.route.forward)
+
+
+class TestWireless:
+    def test_structure(self):
+        sc = build_wireless(algorithm="lia", transfer_bytes=mb(1), seed=1)
+        assert sc.connection.n_subflows == 2
+        assert sc.wifi_route.min_rate() == mbps(10)
+        assert sc.cellular_route.min_rate() == mbps(20)
+
+    def test_delays(self):
+        sc = build_wireless(algorithm="lia", transfer_bytes=mb(1), seed=1)
+        assert sc.wifi_route.base_rtt() == pytest.approx(0.080)
+        assert sc.cellular_route.base_rtt() == pytest.approx(0.200)
+
+    def test_receive_buffer_respected(self):
+        sc = build_wireless(algorithm="lia", transfer_bytes=mb(1), seed=1,
+                            rcv_buffer_bytes=kib(64))
+        limit = kib(64) // sc.connection.subflows[0].mss
+        assert sc.connection.subflows[0].rwnd == limit
+
+    def test_no_cross_traffic_option(self):
+        sc = build_wireless(algorithm="lia", transfer_bytes=mb(1),
+                            cross_fraction=0.0, seed=1)
+        assert sc.cross_sources == []
+
+    def test_runs_and_uses_both_paths(self):
+        sc = build_wireless(algorithm="lia", transfer_bytes=None, seed=1,
+                            rcv_buffer_bytes=None, cross_fraction=0.0)
+        sc.start_all()
+        sc.network.run(until=15.0)
+        wifi, cell = sc.connection.subflows
+        assert wifi.acked > 0 and cell.acked > 0
+
+    def test_wireless_loss_present(self):
+        sc = build_wireless(algorithm="lia", transfer_bytes=None, seed=3,
+                            wifi_loss=0.01, cellular_loss=0.01,
+                            cross_fraction=0.0, rcv_buffer_bytes=None)
+        sc.start_all()
+        sc.network.run(until=20.0)
+        lossy = [l for l in sc.network.links if l.loss_rate > 0]
+        assert sum(l.random_losses for l in lossy) > 0

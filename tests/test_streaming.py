@@ -1,0 +1,91 @@
+"""Streaming (rate-limited) workload tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.network import Network
+from repro.net.queues import DropTailQueue
+from repro.units import mbps, ms
+from repro.workloads.streaming import StreamingSupply, attach_streaming_source
+
+
+def two_path_net(seed=1):
+    net = Network(seed=seed)
+    a, b = net.add_host("a"), net.add_host("b")
+    routes = []
+    for i in range(2):
+        s = net.add_switch(f"s{i}")
+        net.link(a, s, rate_bps=mbps(100), delay=ms(10),
+                 queue_factory=lambda: DropTailQueue(limit_packets=100))
+        net.link(s, b, rate_bps=mbps(100), delay=ms(10),
+                 queue_factory=lambda: DropTailQueue(limit_packets=100))
+        routes.append(net.route([a, s, b]))
+    return net, routes
+
+
+def test_stream_respects_bitrate():
+    net, routes = two_path_net()
+    conn = net.connection(routes, "lia", total_bytes=None)
+    attach_streaming_source(conn, bitrate_bps=mbps(8))
+    conn.start()
+    net.run(until=20.0)
+    goodput = conn.aggregate_goodput_bps(elapsed=20.0)
+    assert goodput <= mbps(8) * 1.05
+    assert goodput >= mbps(8) * 0.75
+
+
+def test_stream_far_below_capacity_is_lossless():
+    net, routes = two_path_net()
+    conn = net.connection(routes, "dts", total_bytes=None)
+    attach_streaming_source(conn, bitrate_bps=mbps(4))
+    conn.start()
+    net.run(until=15.0)
+    assert conn.total_loss_events() == 0
+
+
+def test_finite_stream_completes():
+    net, routes = two_path_net()
+    conn = net.connection(routes, "lia", total_bytes=None)
+    attach_streaming_source(conn, bitrate_bps=mbps(20), total_bytes=1_000_000)
+    conn.start()
+    net.run_until_complete([conn], timeout=60)
+    assert conn.completed
+    # At 20 Mbps an 8 Mb transfer takes at least 0.4 s (rate-limited).
+    assert conn.completion_time >= 0.35
+
+
+def test_bitrate_above_capacity_saturates_network_instead():
+    net, routes = two_path_net()
+    conn = net.connection(routes, "lia", total_bytes=None)
+    attach_streaming_source(conn, bitrate_bps=mbps(500))
+    conn.start()
+    net.run(until=10.0)
+    goodput = conn.aggregate_goodput_bps(elapsed=10.0)
+    assert goodput <= mbps(200) * 1.05  # network capacity, not the app rate
+
+
+def test_supply_binding_replaces_connection_supply():
+    net, routes = two_path_net()
+    conn = net.connection(routes, "lia", total_bytes=None)
+    supply = attach_streaming_source(conn, bitrate_bps=mbps(8))
+    assert conn.supply is supply
+    assert all(sf.supply is supply for sf in conn.subflows)
+
+
+def test_invalid_parameters_rejected():
+    net, _ = two_path_net()
+    with pytest.raises(ConfigurationError):
+        StreamingSupply(net.sim, bitrate_bps=0, segment_bytes=1460)
+    with pytest.raises(ConfigurationError):
+        StreamingSupply(net.sim, bitrate_bps=mbps(1), segment_bytes=0)
+
+
+def test_token_bucket_empties_and_refills():
+    net, _ = two_path_net()
+    supply = StreamingSupply(net.sim, bitrate_bps=mbps(1),
+                             segment_bytes=1460, burst_segments=2.0)
+    assert supply.take()
+    assert supply.take()
+    assert not supply.take()  # bucket empty
+    net.run(until=1.0)  # ~85 segments/s refill at 1 Mbps
+    assert supply.take()

@@ -1,0 +1,145 @@
+"""Fluid-model trajectory (Eq. 3 ODE) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import decomposition, reno_window, solve_equilibrium
+from repro.core.model import CongestionModel, make_psi_dts
+from repro.core.trajectories import (
+    constant,
+    integrate_model,
+    responsiveness,
+    step,
+)
+from repro.errors import ModelError
+
+
+class TestEnvironments:
+    def test_constant(self):
+        env = constant([0.05, 0.1])
+        assert list(env(0.0)) == [0.05, 0.1]
+        assert list(env(100.0)) == [0.05, 0.1]
+
+    def test_step(self):
+        env = step([0.01], [0.05], at=5.0)
+        assert env(4.9)[0] == 0.01
+        assert env(5.1)[0] == 0.05
+
+    def test_step_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            step([0.01], [0.05, 0.05], at=1.0)
+
+
+class TestIntegration:
+    def test_single_path_converges_to_reno_equilibrium(self):
+        model = decomposition("olia")
+        rtt, loss = 0.05, 0.01
+        traj = integrate_model(
+            model, rtt=constant([rtt]), loss=constant([loss]),
+            x0=[10.0], duration=120.0,
+        )
+        expected_rate = reno_window(loss) / rtt
+        assert traj.rates[0, -1] == pytest.approx(expected_rate, rel=0.05)
+
+    def test_equilibrium_matches_solver(self):
+        model = decomposition("balia")
+        rtt = np.array([0.04, 0.08])
+        loss = np.array([0.01, 0.02])
+        traj = integrate_model(
+            model, rtt=constant(rtt), loss=constant(loss),
+            x0=[50.0, 50.0], duration=200.0,
+        )
+        solved = solve_equilibrium(model, rtt, loss)
+        assert traj.rates[:, -1] == pytest.approx(solved.x, rel=0.1)
+
+    def test_invalid_initial_rates_rejected(self):
+        with pytest.raises(ModelError):
+            integrate_model(
+                decomposition("lia"), rtt=constant([0.05]),
+                loss=constant([0.01]), x0=[0.0], duration=1.0,
+            )
+
+    def test_environment_shape_validated(self):
+        with pytest.raises(ModelError):
+            integrate_model(
+                decomposition("lia"), rtt=constant([0.05, 0.05]),
+                loss=constant([0.01]), x0=[10.0], duration=1.0,
+            )
+
+    def test_loss_step_shrinks_rate(self):
+        model = decomposition("lia")
+        traj = integrate_model(
+            model,
+            rtt=constant([0.05, 0.05]),
+            loss=step([0.005, 0.005], [0.005, 0.08], at=40.0),
+            x0=[100.0, 100.0],
+            duration=120.0,
+        )
+        # After the loss step, the second path's rate collapses while the
+        # first recovers the slack.
+        mid = np.searchsorted(traj.times, 39.0)
+        assert traj.rates[1, -1] < 0.5 * traj.rates[1, mid]
+        assert traj.rates[0, -1] > traj.rates[0, mid]
+
+    def test_total_rate_and_final_state(self):
+        model = decomposition("olia")
+        traj = integrate_model(
+            model, rtt=constant([0.05]), loss=constant([0.01]),
+            x0=[10.0], duration=30.0,
+        )
+        assert traj.total_rate.shape == traj.times.shape
+        state = traj.final_state(np.array([0.05]))
+        assert state.w[0] == pytest.approx(traj.rates[0, -1] * 0.05)
+
+
+class TestResponsiveness:
+    def test_settling_time_positive_and_bounded(self):
+        t = responsiveness(
+            decomposition("lia"), rtt=[0.05, 0.05], loss=[0.01, 0.01],
+            x0=[1.0, 1.0], duration=120.0,
+        )
+        assert 0.0 < t <= 120.0
+
+    def test_balia_responds_faster_than_lia_from_cold(self):
+        """Balia's psi > 1 off-equilibrium buys responsiveness — the
+        tradeoff Section V.A discusses."""
+        kwargs = dict(rtt=[0.05, 0.05], loss=[0.01, 0.01],
+                      x0=[1.0, 1.0], duration=200.0)
+        t_lia = responsiveness(decomposition("lia"), **kwargs)
+        t_balia = responsiveness(decomposition("balia"), **kwargs)
+        assert t_balia <= t_lia * 1.05
+
+    def test_dts_on_clean_paths_faster_than_olia(self):
+        """On un-queued paths eps ~ 2: DTS doubles the increase aggression
+        relative to the psi = 1 OLIA term."""
+        kwargs = dict(rtt=[0.05, 0.05], loss=[0.01, 0.01],
+                      x0=[1.0, 1.0], duration=200.0)
+        t_dts = responsiveness(
+            CongestionModel("dts", make_psi_dts()), **kwargs
+        )
+        t_olia = responsiveness(decomposition("olia"), **kwargs)
+        assert t_dts < t_olia
+
+
+class TestDtsTrajectoryBehaviour:
+    def test_dts_abandons_queue_inflated_path(self):
+        """With base_rtt fixed at the propagation floor, RTT inflation on
+        one path freezes its growth (eps -> 0) so its equilibrium falls far
+        below the equivalent OLIA share. The inflated path's loss rate is
+        set so plain OLIA is indifferent (p * RTT^2 equalized) and keeps
+        using it — isolating the epsilon factor's contribution."""
+        base = constant([0.05, 0.05])
+        rtt = constant([0.05, 0.143])  # ratio 0.35: eps ~ 0.36
+        loss = constant([0.01, 0.01 * (0.05 / 0.143) ** 2])
+
+        dts = integrate_model(
+            CongestionModel("dts", make_psi_dts()),
+            rtt=rtt, loss=loss, base_rtt=base, x0=[10.0, 10.0], duration=150.0,
+        )
+        olia = integrate_model(
+            decomposition("olia"),
+            rtt=rtt, loss=loss, base_rtt=base, x0=[10.0, 10.0], duration=150.0,
+        )
+        dts_share = dts.rates[1, -1] / dts.total_rate[-1]
+        olia_share = olia.rates[1, -1] / olia.total_rate[-1]
+        assert dts_share < 0.6 * olia_share

@@ -1,0 +1,98 @@
+"""Unit-helper tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_kbps():
+    assert units.kbps(5) == 5e3
+
+
+def test_mbps():
+    assert units.mbps(100) == 100e6
+
+
+def test_gbps():
+    assert units.gbps(1) == 1e9
+
+
+def test_to_mbps_roundtrip():
+    assert units.to_mbps(units.mbps(42)) == pytest.approx(42)
+
+
+def test_us():
+    assert units.us(500) == pytest.approx(5e-4)
+
+
+def test_ms():
+    assert units.ms(20) == pytest.approx(0.020)
+
+
+def test_to_ms_roundtrip():
+    assert units.to_ms(units.ms(7.5)) == pytest.approx(7.5)
+
+
+def test_kib():
+    assert units.kib(64) == 65536
+
+
+def test_mib():
+    assert units.mib(1) == 1048576
+
+
+def test_gib():
+    assert units.gib(1) == 1073741824
+
+
+def test_mb():
+    assert units.mb(16) == 16_000_000
+
+
+def test_gb():
+    assert units.gb(10) == 10_000_000_000
+
+
+def test_bytes_to_bits():
+    assert units.bytes_to_bits(1500) == 12000
+
+
+def test_bits_to_bytes():
+    assert units.bits_to_bytes(12000) == 1500
+
+
+def test_transmission_time():
+    # 1500 bytes at 100 Mbps = 120 microseconds.
+    assert units.transmission_time(1500, units.mbps(100)) == pytest.approx(120e-6)
+
+
+def test_transmission_time_rejects_zero_rate():
+    with pytest.raises(ValueError):
+        units.transmission_time(1500, 0)
+
+
+def test_transmission_time_rejects_negative_rate():
+    with pytest.raises(ValueError):
+        units.transmission_time(1500, -1)
+
+
+def test_watts_milliwatts_roundtrip():
+    assert units.milliwatts(units.watts_to_milliwatts(1.5)) == pytest.approx(1.5)
+
+
+def test_joules_per_gb():
+    assert units.joules_per_gb(500.0, 2e9) == pytest.approx(250.0)
+
+
+def test_joules_per_gb_zero_data_is_infinite():
+    assert math.isinf(units.joules_per_gb(500.0, 0))
+
+
+def test_default_mss_smaller_than_packet():
+    assert units.DEFAULT_MSS < units.DEFAULT_PACKET_BYTES
+
+
+def test_ack_bytes_positive():
+    assert 0 < units.ACK_BYTES < units.DEFAULT_MSS
