@@ -1,0 +1,38 @@
+"""Campaign-runner overhead: cold executor sweep vs 100%-cached replay.
+
+Not a paper figure — tracks the campaign subsystem's own costs: the
+executor's dispatch overhead on a real (small) sweep, and the cache's
+replay speed, which is what makes repeated figure regeneration cheap.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro.campaign import CampaignExecutor, ResultCache, RunSpec
+
+
+def _specs():
+    return [RunSpec(topology="bcube", n_subflows=nsub, seed=seed,
+                    duration=1.0, dt=0.01)
+            for nsub in (1, 2) for seed in (1, 2)]
+
+
+def test_campaign_cold_sweep(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    executor = CampaignExecutor(jobs=1, cache=cache)
+    outcomes = run_once(benchmark, executor.run, _specs())
+    assert all(o.ok for o in outcomes)
+    assert cache.stats.writes == len(outcomes)
+
+
+def test_campaign_cached_replay(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    executor = CampaignExecutor(jobs=1, cache=cache)
+    cold = executor.run(_specs())
+
+    replayed = benchmark(executor.run, _specs())
+    assert all(o.cached for o in replayed)
+    for a, b in zip(cold, replayed):
+        assert json.dumps(a.metrics, sort_keys=True) == \
+            json.dumps(b.metrics, sort_keys=True)

@@ -1,0 +1,49 @@
+"""Experiment-campaign runner: declarative specs, a content-addressed
+result cache, a process-pool executor, and structured run telemetry.
+
+The paper's evaluation is a large sweep — subflow counts 1-8 across
+FatTree/BCube/VL2, ten seeds each, algorithm-by-algorithm comparisons —
+and this package turns each point of such a sweep into a declarative,
+hashable :class:`RunSpec` that can be executed in parallel, cached on
+disk, and re-used across invocations::
+
+    from repro.campaign import CampaignExecutor, ResultCache, RunSpec
+
+    specs = [RunSpec(topology="bcube", n_subflows=n, seed=s)
+             for n in (1, 2, 4, 8) for s in (1, 2)]
+    executor = CampaignExecutor(jobs=4, cache=ResultCache(".repro-cache"))
+    outcomes = executor.run(specs)      # ordered like ``specs``
+
+From the command line::
+
+    python -m repro campaign fig12 fig13 fig14 --jobs 4
+    python -m repro sweep --topologies bcube --subflows 1 2 4 8 --jobs 4
+"""
+
+from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.executor import CampaignExecutor, RunOutcome, execute_run
+from repro.campaign.spec import (
+    SCHEMA_VERSION,
+    CampaignSpec,
+    RunSpec,
+    build_topology,
+    figure_campaign,
+    subflow_sweep_campaign,
+)
+from repro.campaign.telemetry import CampaignTelemetry, engine_throughput
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "CampaignExecutor",
+    "CampaignSpec",
+    "CampaignTelemetry",
+    "ResultCache",
+    "RunOutcome",
+    "RunSpec",
+    "build_topology",
+    "engine_throughput",
+    "execute_run",
+    "figure_campaign",
+    "subflow_sweep_campaign",
+]

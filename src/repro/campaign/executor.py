@@ -1,0 +1,246 @@
+"""Process-pool fan-out over RunSpecs with caching, retry, and telemetry.
+
+Design points:
+
+* **Determinism** — a worker rebuilds its whole run (topology, path
+  selection, workload pairing, engine seeding) from the spec's fields
+  alone, so ``--jobs 1`` and ``--jobs 4`` produce byte-identical
+  metrics.  Wall-clock timing lives *outside* the ``metrics`` dict for
+  the same reason.
+* **Ordered collection** — ``run(specs)`` returns one
+  :class:`RunOutcome` per spec, in spec order, regardless of completion
+  order.
+* **Fault tolerance** — a run that raises (or whose worker process
+  dies) is retried once on a fresh submission; a second failure is
+  reported as a failed outcome without aborting the campaign.  A broken
+  pool is rebuilt transparently.
+* **Timeouts** — ``run_timeout`` bounds how long the collector waits
+  for any single run's result.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import SCHEMA_VERSION, RunSpec, build_topology
+from repro.campaign.telemetry import CampaignTelemetry
+
+
+def execute_run(spec: RunSpec) -> Dict[str, Any]:
+    """Execute one run described by ``spec``; the pool's worker function.
+
+    Must stay a module-level function (pickled by ProcessPoolExecutor)
+    and must derive *everything* from the spec so results are
+    reproducible in any process.  Returns a JSON-serializable payload:
+    ``metrics`` holds only deterministic quantities; ``wall_s`` (worker
+    compute seconds) sits alongside so identical runs stay comparable.
+    """
+    if spec.engine != "fluid":  # pragma: no cover - guarded by RunSpec
+        raise ValueError(f"unsupported engine {spec.engine!r}")
+    from repro.fluidsim import FluidNetwork, FluidSimulation
+    from repro.workloads.permutation import random_permutation_pairs
+
+    t0 = time.perf_counter()
+    topo = build_topology(spec.topology, link_delay=spec.link_delay)
+    net = FluidNetwork(topo, path_seed=spec.seed)
+    pairs = random_permutation_pairs(topo.hosts, np.random.default_rng(spec.seed))
+    for src, dst in pairs:
+        net.add_connection(src, dst, spec.algorithm, n_subflows=spec.n_subflows)
+    net.finalize()
+    sim = FluidSimulation(net, dt=spec.dt, seed=spec.seed, **spec.params)
+    result = sim.run(spec.duration)
+    wall_s = time.perf_counter() - t0
+
+    metrics = {
+        "energy_per_gb": result.energy_per_gb(),
+        "aggregate_goodput_bps": result.aggregate_goodput_bps,
+        "host_energy_j": result.host_energy_j,
+        "switch_energy_j": result.switch_energy_j,
+        "total_energy_j": result.total_energy_j,
+        "delivered_bits": float(np.sum(result.connection_bits)),
+        "loss_events": int(np.sum(result.loss_events)),
+        "mean_rtt_s": float(np.mean(result.mean_rtt)),
+        "mean_utilization": float(np.mean(result.mean_utilization)),
+        "n_connections": len(net.connections),
+        "n_subflows_total": net.n_subflows,
+        "steps_taken": sim.steps_taken,
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "spec_hash": spec.content_hash(),
+        "metrics": metrics,
+        "wall_s": wall_s,
+    }
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one spec in a campaign."""
+
+    spec: RunSpec
+    payload: Optional[Dict[str, Any]]
+    cached: bool = False
+    wall_s: float = 0.0
+    error: Optional[str] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.payload is not None
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """The deterministic result metrics (empty dict on failure)."""
+        if self.payload is None:
+            return {}
+        return self.payload.get("metrics", {})
+
+
+class CampaignExecutor:
+    """Runs specs through the cache and (optionally) a process pool."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[CampaignTelemetry] = None,
+        run_timeout: Optional[float] = None,
+        retries: int = 1,
+        run_fn: Callable[[RunSpec], Dict[str, Any]] = execute_run,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.cache = cache
+        self.telemetry = telemetry
+        self.run_timeout = run_timeout
+        self.retries = retries
+        self.run_fn = run_fn
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, specs: Sequence[RunSpec],
+            campaign_name: str = "campaign") -> List[RunOutcome]:
+        """Execute every spec; returns outcomes ordered like ``specs``."""
+        tel = self.telemetry or CampaignTelemetry()
+        tel.campaign_started(campaign_name, n_runs=len(specs), jobs=self.jobs)
+
+        outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+        pending: List[int] = []
+        for i, spec in enumerate(specs):
+            payload = self.cache.get(spec) if self.cache is not None else None
+            if payload is not None:
+                outcomes[i] = RunOutcome(spec, payload, cached=True, attempts=0)
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.jobs <= 1:
+                for i in pending:
+                    tel.run_started(specs[i])
+                    outcomes[i] = self._run_inline(specs[i])
+            else:
+                self._run_pooled(specs, pending, outcomes, tel)
+
+        for i, outcome in enumerate(outcomes):
+            assert outcome is not None
+            if outcome.cached:
+                tel.run_completed(outcome.spec, outcome.payload, outcome.wall_s,
+                                  cached=True, attempts=outcome.attempts)
+            elif outcome.ok:
+                if self.cache is not None:
+                    self.cache.put(outcome.spec, outcome.payload)
+                tel.run_completed(outcome.spec, outcome.payload, outcome.wall_s,
+                                  cached=False, attempts=outcome.attempts)
+            else:
+                tel.run_failed(outcome.spec, outcome.error or "unknown error",
+                               outcome.wall_s, outcome.attempts)
+
+        if self.cache is not None:
+            for name, value in self.cache.stats.as_dict().items():
+                tel.counters[f"cache_{name}"] = value
+        tel.campaign_finished(campaign_name)
+        return outcomes  # type: ignore[return-value]
+
+    # ----------------------------------------------------------- strategies
+
+    def _run_inline(self, spec: RunSpec) -> RunOutcome:
+        """Execute in-process, retrying on any exception."""
+        attempts = 0
+        t0 = time.perf_counter()
+        while True:
+            attempts += 1
+            try:
+                payload = self.run_fn(spec)
+                return RunOutcome(spec, payload, wall_s=time.perf_counter() - t0,
+                                  attempts=attempts)
+            except Exception as exc:  # noqa: BLE001 - a run may fail arbitrarily
+                if attempts > self.retries:
+                    return RunOutcome(spec, None, wall_s=time.perf_counter() - t0,
+                                      error=f"{type(exc).__name__}: {exc}",
+                                      attempts=attempts)
+
+    def _run_pooled(self, specs: Sequence[RunSpec], pending: List[int],
+                    outcomes: List[Optional[RunOutcome]],
+                    tel: CampaignTelemetry) -> None:
+        """Fan out over a process pool, collecting results in spec order.
+
+        Each pending index gets up to ``1 + retries`` submissions; a
+        ``BrokenProcessPool`` (worker died hard) rebuilds the pool so
+        the remaining runs still execute.
+        """
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        try:
+            futures = {}
+            for i in pending:
+                tel.run_started(specs[i])
+                futures[i] = pool.submit(self.run_fn, specs[i])
+            starts = {i: time.perf_counter() for i in pending}
+            for i in pending:
+                attempts = 1
+                fut = futures[i]
+                while True:
+                    try:
+                        payload = fut.result(timeout=self.run_timeout)
+                        outcomes[i] = RunOutcome(
+                            spec=specs[i], payload=payload,
+                            wall_s=time.perf_counter() - starts[i],
+                            attempts=attempts)
+                        break
+                    except Exception as exc:  # noqa: BLE001
+                        if isinstance(exc, FuturesTimeoutError):
+                            fut.cancel()
+                            error = f"timed out after {self.run_timeout}s"
+                        else:
+                            error = f"{type(exc).__name__}: {exc}"
+                        if isinstance(exc, BrokenProcessPool):
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            pool = ProcessPoolExecutor(
+                                max_workers=min(self.jobs, len(pending)))
+                            # Resubmit every not-yet-collected run on the
+                            # fresh pool; their attempt counts are kept by
+                            # their own collection loops.
+                            for j in pending:
+                                if outcomes[j] is None and j != i:
+                                    futures[j] = pool.submit(self.run_fn, specs[j])
+                        if attempts > self.retries:
+                            outcomes[i] = RunOutcome(
+                                spec=specs[i], payload=None,
+                                wall_s=time.perf_counter() - starts[i],
+                                error=error, attempts=attempts)
+                            break
+                        attempts += 1
+                        fut = pool.submit(self.run_fn, specs[i])
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,191 @@
+"""Declarative run/campaign specifications with stable content hashes.
+
+A :class:`RunSpec` is the complete, serializable description of one
+simulation run: every quantity the engine needs (algorithm, topology,
+workload, seed, integration parameters) and nothing it does not.  Two
+specs with the same fields hash identically in any process on any
+machine, which is what makes the on-disk result cache content-addressed.
+
+The hash is a SHA-256 over a canonical JSON encoding (sorted keys, no
+whitespace) prefixed with :data:`SCHEMA_VERSION`, so bumping the schema
+version — e.g. after an engine change that alters the numbers — busts
+every cached result at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.units import ms
+
+#: Bump whenever engine or payload changes invalidate previously cached
+#: results.  Participates in every spec hash and is stored in each cache
+#: entry, so old entries become misses rather than stale hits.
+SCHEMA_VERSION = 1
+
+#: Topologies a RunSpec can name (the paper's datacenter fabrics).
+KNOWN_TOPOLOGIES = ("bcube", "fattree", "vl2")
+
+#: Workloads a RunSpec can name.
+KNOWN_WORKLOADS = ("permutation",)
+
+#: Engines a RunSpec can name.  Only the fluid engine runs full
+#: datacenter sweeps today; the field exists so packet-level campaign
+#: points can be added without a schema change.
+KNOWN_ENGINES = ("fluid",)
+
+
+def build_topology(name: str, link_delay: float = ms(1)):
+    """Construct the canonical topology instance for a spec's name.
+
+    This is the single source of truth for what ``topology="bcube"``
+    etc. mean — the experiment modules delegate here so a cached result
+    and a freshly simulated one are guaranteed to describe the same
+    network.
+    """
+    from repro.topology import BCube, FatTree, Vl2
+
+    if name == "bcube":
+        return BCube(4, 2, link_delay=link_delay)
+    if name == "fattree":
+        return FatTree(8, link_delay=link_delay)
+    if name == "vl2":
+        return Vl2(link_delay=link_delay)
+    raise ValueError(f"unknown topology {name!r} (known: {', '.join(KNOWN_TOPOLOGIES)})")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run, fully determined by its fields."""
+
+    algorithm: str = "lia"
+    topology: str = "bcube"
+    workload: str = "permutation"
+    n_subflows: int = 1
+    seed: int = 1
+    duration: float = 30.0
+    dt: float = 0.004
+    link_delay: float = ms(1)
+    engine: str = "fluid"
+    #: Free-form engine parameters (must be JSON-serializable); reserved
+    #: for knobs like ``initial_window`` without a schema change.
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.engine not in KNOWN_ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r} (known: {', '.join(KNOWN_ENGINES)})")
+        if self.topology not in KNOWN_TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r} "
+                f"(known: {', '.join(KNOWN_TOPOLOGIES)})")
+        if self.workload not in KNOWN_WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r} "
+                f"(known: {', '.join(KNOWN_WORKLOADS)})")
+        if self.n_subflows < 1:
+            raise ConfigurationError(f"n_subflows must be >= 1, got {self.n_subflows}")
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {self.dt}")
+        if self.link_delay <= 0:
+            raise ConfigurationError(f"link_delay must be positive, got {self.link_delay}")
+
+    # -------------------------------------------------------- serialization
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, suitable for ``json.dumps``."""
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_json_dict`; rejects unknown keys."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown RunSpec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def canonical_json(self) -> str:
+        """Canonical encoding: sorted keys, no whitespace, no NaN."""
+        return json.dumps(self.to_json_dict(), sort_keys=True,
+                          separators=(",", ":"), allow_nan=False)
+
+    def content_hash(self) -> str:
+        """Stable hex digest identifying this run (includes the schema
+        version, so engine-breaking changes bust the cache)."""
+        body = f"repro.campaign.runspec:{SCHEMA_VERSION}:{self.canonical_json()}"
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    def replace(self, **changes: Any) -> "RunSpec":
+        """A copy with ``changes`` applied (dataclasses.replace wrapper)."""
+        data = self.to_json_dict()
+        data.update(changes)
+        return RunSpec.from_json_dict(data)
+
+
+@dataclass
+class CampaignSpec:
+    """A named, ordered collection of runs."""
+
+    name: str
+    runs: List[RunSpec] = field(default_factory=list)
+
+    def content_hash(self) -> str:
+        """Digest over the ordered run hashes (and the campaign name)."""
+        h = hashlib.sha256(f"repro.campaign.campaign:{self.name}:".encode("utf-8"))
+        for run in self.runs:
+            h.update(run.content_hash().encode("ascii"))
+        return h.hexdigest()
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "runs": [r.to_json_dict() for r in self.runs]}
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+# ----------------------------------------------------------------- builders
+
+def subflow_sweep_campaign(
+    topologies: Sequence[str],
+    *,
+    subflow_counts: Sequence[int] = (1, 2, 4, 8),
+    seeds: Sequence[int] = (1, 2),
+    algorithm: str = "lia",
+    duration: float = 30.0,
+    dt: float = 0.004,
+    link_delay: float = ms(1),
+    name: Optional[str] = None,
+) -> CampaignSpec:
+    """The Figs. 12-14 shape: subflow counts x seeds per topology."""
+    runs = [
+        RunSpec(algorithm=algorithm, topology=topo, n_subflows=nsub, seed=seed,
+                duration=duration, dt=dt, link_delay=link_delay)
+        for topo in topologies
+        for nsub in subflow_counts
+        for seed in seeds
+    ]
+    return CampaignSpec(name=name or f"sweep-{'-'.join(topologies)}", runs=runs)
+
+
+#: Figure id -> topology for the campaignable (fluid-sweep) figures.
+FIGURE_TOPOLOGIES = {"fig12": "bcube", "fig13": "fattree", "fig14": "vl2"}
+
+
+def figure_campaign(figures: Sequence[str], **overrides: Any) -> CampaignSpec:
+    """A campaign reproducing one or more of Figs. 12-14 with the same
+    defaults as the serial ``python -m repro figNN`` path."""
+    unknown = [f for f in figures if f not in FIGURE_TOPOLOGIES]
+    if unknown:
+        raise ConfigurationError(
+            f"figure(s) {', '.join(unknown)} cannot run as a campaign "
+            f"(campaignable: {', '.join(sorted(FIGURE_TOPOLOGIES))})")
+    topologies = [FIGURE_TOPOLOGIES[f] for f in figures]
+    name = overrides.pop("name", None) or "-".join(figures)
+    return subflow_sweep_campaign(topologies, name=name, **overrides)

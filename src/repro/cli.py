@@ -6,6 +6,11 @@ Usage::
     python -m repro fig09                # regenerate one figure
     python -m repro fig12 fig13 fig14    # several in sequence
     python -m repro all                  # everything (several minutes)
+
+Campaign mode (parallel, cached — see docs/USAGE.md):
+
+    python -m repro campaign fig12 fig13 fig14 --jobs 4
+    python -m repro sweep --topologies bcube vl2 --subflows 1 2 4 8 --jobs 4
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict, List
 
 from repro import __version__
@@ -72,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Regenerate figures from 'On Energy-Efficient Congestion "
             "Control for Multipath TCP' (ICDCS 2017)."
         ),
+        epilog=(
+            "Parallel, cached campaigns: 'python -m repro campaign --help' "
+            "and 'python -m repro sweep --help'."
+        ),
     )
     parser.add_argument("--version", action="version", version=__version__)
     parser.add_argument(
@@ -83,8 +93,201 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ------------------------------------------------------------------ campaign
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes (default: 1, in-process)")
+    parser.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                        help="result cache directory (default: .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the result cache entirely")
+    parser.add_argument("--log", default=None, metavar="PATH",
+                        help="JSONL telemetry log "
+                             "(default: <cache-dir>/campaign.log.jsonl)")
+    parser.add_argument("--run-timeout", type=float, default=None, metavar="S",
+                        help="max seconds to wait for any single run")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds per run (default: 30)")
+    parser.add_argument("--dt", type=float, default=None,
+                        help="integration step (default: 0.004)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=None,
+                        help="seeds averaged per point (default: 1 2)")
+    parser.add_argument("--subflows", type=int, nargs="+", default=None,
+                        help="subflow counts swept (default: 1 2 4 8)")
+
+
+def build_campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description=(
+            "Run figure sweeps as a parallel, cached campaign. A second "
+            "invocation reuses every cached point (see the JSONL log)."
+        ),
+    )
+    parser.add_argument("figures", nargs="+", metavar="FIGURE",
+                        help="campaignable figures: fig12 fig13 fig14")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="the paper's full htsim parameters "
+                             "(8 counts x 10 seeds x 1000 s — hours)")
+    _add_campaign_options(parser)
+    return parser
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run an ad-hoc subflow sweep campaign on named topologies.",
+    )
+    parser.add_argument("--topologies", nargs="+", default=["bcube"],
+                        metavar="TOPO", help="bcube, fattree, vl2")
+    parser.add_argument("--algorithm", default="lia",
+                        help="congestion-control algorithm (default: lia)")
+    parser.add_argument("--link-delay-ms", type=float, default=1.0,
+                        help="per-link one-way delay in ms (default: 1)")
+    _add_campaign_options(parser)
+    return parser
+
+
+def _campaign_plumbing(args):
+    """Shared cache/telemetry/executor wiring for campaign and sweep."""
+    from repro.campaign import CampaignExecutor, CampaignTelemetry, ResultCache
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    log_path = args.log
+    if log_path is None:
+        log_path = str(Path(args.cache_dir) / "campaign.log.jsonl")
+    telemetry = CampaignTelemetry(log_path=log_path)
+    executor = CampaignExecutor(jobs=args.jobs, cache=cache, telemetry=telemetry,
+                                run_timeout=args.run_timeout)
+    return cache, telemetry, executor, log_path
+
+
+def _run_campaign_specs(campaign, executor, telemetry, log_path) -> int:
+    """Execute a CampaignSpec and print per-topology tables + a summary."""
+    from repro.experiments.fig12_14_subflows import sweep_result_from_outcomes
+
+    start = time.time()
+    outcomes = executor.run(campaign.runs, campaign_name=campaign.name)
+    wall = time.time() - start
+
+    failed = [o for o in outcomes if not o.ok]
+    for group_name, counts, seeds, group in _group_outcomes(campaign, outcomes):
+        if any(not o.ok for o in group):
+            print(f"[{group_name}] {sum(not o.ok for o in group)} runs failed",
+                  file=sys.stderr)
+            continue
+        _print_sweep(sweep_result_from_outcomes(group_name, counts, seeds, group))
+        print()
+
+    summary = telemetry.summary()
+    hits = summary.get("cache_hits", 0)
+    print(f"campaign '{campaign.name}': {len(outcomes)} runs, "
+          f"{hits} cache hits, {len(failed)} failed, {wall:.2f}s wall")
+    print(f"telemetry log: {log_path}")
+    return 1 if failed else 0
+
+
+def _group_outcomes(campaign, outcomes):
+    """Yield (topology, counts, seeds, outcome-slice) per swept topology.
+
+    Campaign builders order runs topology-major, then subflow count,
+    then seed, so each topology owns one contiguous slice.
+    """
+    topo_order: List[str] = []
+    counts_set: List[int] = []
+    seeds_set: List[int] = []
+    for run in campaign.runs:
+        if run.topology not in topo_order:
+            topo_order.append(run.topology)
+        if run.n_subflows not in counts_set:
+            counts_set.append(run.n_subflows)
+        if run.seed not in seeds_set:
+            seeds_set.append(run.seed)
+    per_topo = len(counts_set) * len(seeds_set)
+    for t, topo in enumerate(topo_order):
+        yield topo, counts_set, seeds_set, outcomes[t * per_topo:(t + 1) * per_topo]
+
+
+def _campaign_main(argv: List[str]) -> int:
+    args = build_campaign_parser().parse_args(argv)
+    from repro.campaign import figure_campaign
+    from repro.campaign.spec import FIGURE_TOPOLOGIES
+    from repro.errors import ConfigurationError
+
+    unknown = [f for f in args.figures if f not in FIGURE_TOPOLOGIES]
+    if unknown:
+        print(f"not campaignable: {', '.join(unknown)} "
+              f"(campaignable: {', '.join(sorted(FIGURE_TOPOLOGIES))})",
+              file=sys.stderr)
+        return 2
+
+    try:
+        if args.paper_scale:
+            from repro.experiments import paper_scale
+            campaign = paper_scale.fig12_14_campaign(args.figures)
+        else:
+            overrides = {}
+            if args.subflows is not None:
+                overrides["subflow_counts"] = args.subflows
+            if args.seeds is not None:
+                overrides["seeds"] = args.seeds
+            if args.duration is not None:
+                overrides["duration"] = args.duration
+            if args.dt is not None:
+                overrides["dt"] = args.dt
+            campaign = figure_campaign(args.figures, **overrides)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    _, telemetry, executor, log_path = _campaign_plumbing(args)
+    return _run_campaign_specs(campaign, executor, telemetry, log_path)
+
+
+def _sweep_main(argv: List[str]) -> int:
+    args = build_sweep_parser().parse_args(argv)
+    from repro.campaign import subflow_sweep_campaign
+    from repro.errors import ConfigurationError
+    from repro.units import ms
+
+    kwargs = {"algorithm": args.algorithm,
+              "link_delay": ms(args.link_delay_ms)}
+    if args.subflows is not None:
+        kwargs["subflow_counts"] = args.subflows
+    if args.seeds is not None:
+        kwargs["seeds"] = args.seeds
+    if args.duration is not None:
+        kwargs["duration"] = args.duration
+    if args.dt is not None:
+        kwargs["dt"] = args.dt
+    try:
+        campaign = subflow_sweep_campaign(args.topologies, **kwargs)
+    except (ConfigurationError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    _, telemetry, executor, log_path = _campaign_plumbing(args)
+    return _run_campaign_specs(campaign, executor, telemetry, log_path)
+
+
+# ----------------------------------------------------------------------- main
+
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "campaign":
+        return _campaign_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+
     args = build_parser().parse_args(argv)
     runners = _figure_runners()
 
@@ -92,6 +295,7 @@ def main(argv: List[str] | None = None) -> int:
         print("available figures:")
         for name in sorted(runners):
             print(f"  {name}")
+        print("subcommands: campaign, sweep (parallel cached runs; --help)")
         return 0
 
     targets = sorted(runners) if "all" in args.targets else args.targets

@@ -10,6 +10,11 @@ Energy overhead here is joules per delivered gigabyte (host + switch
 energy over goodput), the natural reading of "energy overhead" for
 fixed-duration long-lived flows.
 
+Every (subflow count, seed) point is one :class:`repro.campaign.RunSpec`
+submitted through :class:`repro.campaign.CampaignExecutor`, so sweeps
+can fan out over processes (``jobs=4``) and reuse cached points — the
+serial path (``jobs=1``, no cache) computes the identical numbers.
+
 Scaling note (DESIGN.md): link delays default to 1 ms instead of the
 paper's 100 ms so the dynamics converge within seconds of simulated time;
 ``link_delay`` and ``duration`` accept the paper's values for full-scale
@@ -25,8 +30,10 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.analysis.report import format_table
+from repro.campaign import CampaignExecutor, CampaignTelemetry, ResultCache, RunSpec
+from repro.campaign.spec import build_topology
+from repro.errors import SimulationError
 from repro.fluidsim import FluidNetwork, FluidSimulation
-from repro.topology import BCube, FatTree, Vl2
 from repro.topology.base import DcTopology
 from repro.units import ms
 from repro.workloads.permutation import random_permutation_pairs
@@ -51,18 +58,13 @@ class SubflowSweepResult:
 
 
 def default_topology(name: str, link_delay: float = ms(1)) -> DcTopology:
-    """The per-figure default topology instances."""
-    if name == "bcube":
-        return BCube(4, 2, link_delay=link_delay)
-    if name == "fattree":
-        return FatTree(8, link_delay=link_delay)
-    if name == "vl2":
-        return Vl2(link_delay=link_delay)
-    raise ValueError(f"unknown topology {name!r}")
+    """The per-figure default topology instances (see
+    :func:`repro.campaign.build_topology`, the single source of truth)."""
+    return build_topology(name, link_delay=link_delay)
 
 
 def run_sweep(
-    topology_factory: Callable[[], DcTopology],
+    topology_factory: Optional[Callable[[], DcTopology]] = None,
     *,
     topology_name: str,
     subflow_counts: Optional[List[int]] = None,
@@ -70,17 +72,87 @@ def run_sweep(
     duration: float = 30.0,
     dt: float = 0.004,
     seeds: Optional[List[int]] = None,
+    link_delay: float = ms(1),
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    telemetry: Optional[CampaignTelemetry] = None,
+    run_timeout: Optional[float] = None,
 ) -> SubflowSweepResult:
     """Sweep the subflow count on one topology (averaged over seeds).
 
     Paper scale: ``duration=1000`` with 100 ms links and ten seeds.
+
+    Each (subflow count, seed) point becomes a ``RunSpec`` executed
+    through the campaign executor: ``jobs`` fans the points out over
+    worker processes and ``cache``/``telemetry`` plug in the campaign
+    result store and JSONL run log.  Passing an explicit
+    ``topology_factory`` (a custom network shape the spec vocabulary
+    cannot name) falls back to an in-process loop without caching.
     """
     counts = subflow_counts if subflow_counts is not None else [1, 2, 4, 8]
     seed_list = seeds if seeds is not None else [1, 2]
+
+    if topology_factory is not None:
+        return _run_sweep_with_factory(
+            topology_factory, topology_name=topology_name, counts=counts,
+            algorithm=algorithm, duration=duration, dt=dt, seeds=seed_list)
+
+    specs = [
+        RunSpec(algorithm=algorithm, topology=topology_name, n_subflows=nsub,
+                seed=seed, duration=duration, dt=dt, link_delay=link_delay)
+        for nsub in counts
+        for seed in seed_list
+    ]
+    executor = CampaignExecutor(jobs=jobs, cache=cache, telemetry=telemetry,
+                                run_timeout=run_timeout)
+    outcomes = executor.run(specs, campaign_name=f"sweep-{topology_name}")
+    return sweep_result_from_outcomes(topology_name, counts, seed_list, outcomes)
+
+
+def sweep_result_from_outcomes(topology_name, counts, seeds,
+                               outcomes) -> SubflowSweepResult:
+    """Aggregate campaign outcomes (ordered subflow-count-major, then
+    seed) into the per-point seed averages the figures plot."""
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        first = failed[0]
+        raise SimulationError(
+            f"{len(failed)}/{len(outcomes)} sweep runs failed; first: "
+            f"{first.spec.topology} n_subflows={first.spec.n_subflows} "
+            f"seed={first.spec.seed}: {first.error}")
+
+    points: List[SubflowPoint] = []
+    n = len(seeds)
+    for block, nsub in enumerate(counts):
+        metrics = [outcomes[block * n + k].metrics for k in range(n)]
+        points.append(
+            SubflowPoint(
+                n_subflows=nsub,
+                energy_per_gb=sum(m["energy_per_gb"] for m in metrics) / n,
+                aggregate_goodput_bps=sum(m["aggregate_goodput_bps"]
+                                          for m in metrics) / n,
+                host_energy_j=sum(m["host_energy_j"] for m in metrics) / n,
+                switch_energy_j=sum(m["switch_energy_j"] for m in metrics) / n,
+            )
+        )
+    return SubflowSweepResult(topology=topology_name, points=points)
+
+
+def _run_sweep_with_factory(
+    topology_factory: Callable[[], DcTopology],
+    *,
+    topology_name: str,
+    counts: List[int],
+    algorithm: str,
+    duration: float,
+    dt: float,
+    seeds: List[int],
+) -> SubflowSweepResult:
+    """Legacy in-process sweep for caller-supplied topology shapes."""
     points: List[SubflowPoint] = []
     for nsub in counts:
         e_gb, goodput, e_host, e_switch = [], [], [], []
-        for seed in seed_list:
+        for seed in seeds:
             topo = topology_factory()
             net = FluidNetwork(topo, path_seed=seed)
             pairs = random_permutation_pairs(topo.hosts, np.random.default_rng(seed))
@@ -93,7 +165,7 @@ def run_sweep(
             goodput.append(res.aggregate_goodput_bps)
             e_host.append(res.host_energy_j)
             e_switch.append(res.switch_energy_j)
-        n = len(seed_list)
+        n = len(seeds)
         points.append(
             SubflowPoint(
                 n_subflows=nsub,
@@ -108,20 +180,17 @@ def run_sweep(
 
 def run_fig12(**kwargs) -> SubflowSweepResult:
     """Fig. 12: BCube — energy overhead should fall with subflows."""
-    return run_sweep(lambda: default_topology("bcube"),
-                     topology_name="bcube", **kwargs)
+    return run_sweep(topology_name="bcube", **kwargs)
 
 
 def run_fig13(**kwargs) -> SubflowSweepResult:
     """Fig. 13: FatTree — subflows should not keep saving energy."""
-    return run_sweep(lambda: default_topology("fattree"),
-                     topology_name="fattree", **kwargs)
+    return run_sweep(topology_name="fattree", **kwargs)
 
 
 def run_fig14(**kwargs) -> SubflowSweepResult:
     """Fig. 14: VL2 — subflows should not save energy."""
-    return run_sweep(lambda: default_topology("vl2"),
-                     topology_name="vl2", **kwargs)
+    return run_sweep(topology_name="vl2", **kwargs)
 
 
 def main() -> None:

@@ -76,3 +76,32 @@ FIG17 = {"duration": 200.0, "seeds": [1, 2, 3, 4, 5]}
 
 #: The paper's datacenter link delay (DESIGN.md discusses the scaling).
 PAPER_DC_LINK_DELAY = ms(100)
+
+
+def fig12_14_campaign(figures=("fig12", "fig13", "fig14")):
+    """The full-scale Figs. 12-14 sweep as a campaign: every
+    (topology, subflow count, seed) point of the paper's htsim runs as
+    one cacheable :class:`repro.campaign.RunSpec`.
+
+    240 points at paper scale (3 topologies x 8 counts x 10 seeds) —
+    submit through :class:`repro.campaign.CampaignExecutor` so repeated
+    invocations reuse every already-computed point::
+
+        from repro.campaign import CampaignExecutor, ResultCache
+        from repro.experiments import paper_scale
+
+        spec = paper_scale.fig12_14_campaign()
+        executor = CampaignExecutor(jobs=8, cache=ResultCache())
+        outcomes = executor.run(spec.runs, campaign_name=spec.name)
+    """
+    from repro.campaign import figure_campaign
+
+    return figure_campaign(
+        list(figures),
+        subflow_counts=FIG12_14["subflow_counts"],
+        seeds=FIG12_14["seeds"],
+        duration=FIG12_14["duration"],
+        dt=FIG12_14["dt"],
+        link_delay=PAPER_DC_LINK_DELAY,
+        name="paper-scale-" + "-".join(figures),
+    )

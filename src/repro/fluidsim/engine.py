@@ -20,6 +20,7 @@ Each step of length ``dt``:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -99,6 +100,11 @@ class FluidSimulation:
         self.net = network
         self.dt = dt
         self.rng = np.random.default_rng(seed)
+        #: Integration steps executed across all run() calls, and the
+        #: wall-clock seconds they took — read by campaign telemetry for
+        #: steps/second without instrumenting callers.
+        self.steps_taken: int = 0
+        self.wall_time_s: float = 0.0
         self.host_power = host_power if host_power is not None else default_wired_host()
         self.switch_power = switch_power if switch_power is not None else SwitchPowerModel()
         self.energy_sample_every = max(1, energy_sample_every)
@@ -142,8 +148,16 @@ class FluidSimulation:
 
     # ------------------------------------------------------------------ run
 
+    @property
+    def steps_per_second(self) -> float:
+        """Integration throughput over the steps run so far."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.steps_taken / self.wall_time_s
+
     def run(self, duration: float) -> SimulationResult:
         """Integrate for ``duration`` seconds and return the results."""
+        wall_start = time.perf_counter()
         net = self.net
         n_steps = max(1, int(round(duration / self.dt)))
         dt = self.dt
@@ -236,6 +250,8 @@ class FluidSimulation:
                 samples_goodput.append(float(np.sum(x_bps * (1.0 - p_path))))
                 samples_power.append(host_p + switch_p)
 
+        self.steps_taken += n_steps
+        self.wall_time_s += time.perf_counter() - wall_start
         goodput = self.delivered_bits / duration
         return SimulationResult(
             duration=duration,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, Optional
 
 import numpy as np
@@ -48,11 +49,22 @@ class Simulator:
         self._heap: list = []
         self._counter = itertools.count()
         self._events_processed = 0
+        #: Wall-clock seconds spent inside run() so far — read together
+        #: with :attr:`events_processed` by campaign telemetry for
+        #: events/second without instrumenting callers.
+        self.wall_time_s: float = 0.0
 
     @property
     def events_processed(self) -> int:
         """Number of events executed so far (for diagnostics)."""
         return self._events_processed
+
+    @property
+    def events_per_second(self) -> float:
+        """Event-processing throughput over all run() calls so far."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self._events_processed / self.wall_time_s
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -84,22 +96,26 @@ class Simulator:
         """
         executed = 0
         heap = self._heap
-        while heap:
-            time, _, handle = heap[0]
-            if until is not None and time > until:
+        wall_start = time.perf_counter()
+        try:
+            while heap:
+                when, _, handle = heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                heapq.heappop(heap)
+                if handle.cancelled:
+                    continue
+                self.now = when
+                handle.callback(*handle.args)
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+            if until is not None:
                 self.now = until
-                return
-            heapq.heappop(heap)
-            if handle.cancelled:
-                continue
-            self.now = time
-            handle.callback(*handle.args)
-            self._events_processed += 1
-            executed += 1
-            if max_events is not None and executed >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
-        if until is not None:
-            self.now = until
+        finally:
+            self.wall_time_s += time.perf_counter() - wall_start
 
     def pending(self) -> int:
         """Number of events still queued (including cancelled stubs)."""

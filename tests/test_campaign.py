@@ -1,0 +1,391 @@
+"""Campaign subsystem: specs, cache, executor, telemetry."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignExecutor,
+    CampaignTelemetry,
+    ResultCache,
+    RunSpec,
+    engine_throughput,
+    execute_run,
+    figure_campaign,
+    subflow_sweep_campaign,
+)
+from repro.campaign import cache as cache_mod
+from repro.campaign import spec as spec_mod
+from repro.errors import ConfigurationError
+
+#: A cheap-but-real fluid run (BCube 64 hosts, 40 integration steps).
+FAST = dict(topology="bcube", duration=0.4, dt=0.01)
+
+
+# ---------------------------------------------------------------------- specs
+
+def test_spec_hash_is_stable_within_process():
+    a = RunSpec(n_subflows=4, seed=7, **FAST)
+    b = RunSpec(n_subflows=4, seed=7, **FAST)
+    assert a.content_hash() == b.content_hash()
+    assert len(a.content_hash()) == 64
+
+
+def test_spec_hash_is_stable_across_processes():
+    spec = RunSpec(n_subflows=4, seed=7, **FAST)
+    code = (
+        "from repro.campaign import RunSpec; "
+        f"print(RunSpec(n_subflows=4, seed=7, topology='bcube', "
+        f"duration=0.4, dt=0.01).content_hash())"
+    )
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run([sys.executable, "-c", code], env=env,
+                         capture_output=True, text=True, check=True)
+    assert out.stdout.strip() == spec.content_hash()
+
+
+def test_spec_hash_changes_with_any_field():
+    base = RunSpec(**FAST)
+    for changes in ({"seed": 2}, {"n_subflows": 2}, {"duration": 0.8},
+                    {"dt": 0.02}, {"algorithm": "olia"},
+                    {"topology": "vl2"}, {"link_delay": 0.002},
+                    {"params": {"initial_window": 5.0}}):
+        assert base.replace(**changes).content_hash() != base.content_hash(), changes
+
+
+def test_spec_json_roundtrip():
+    spec = RunSpec(algorithm="olia", n_subflows=3, seed=9, **FAST)
+    again = RunSpec.from_json_dict(json.loads(json.dumps(spec.to_json_dict())))
+    assert again == spec
+    assert again.content_hash() == spec.content_hash()
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        RunSpec(topology="hypercube")
+    with pytest.raises(ConfigurationError):
+        RunSpec(engine="quantum")
+    with pytest.raises(ConfigurationError):
+        RunSpec(n_subflows=0)
+    with pytest.raises(ConfigurationError):
+        RunSpec(duration=-1.0)
+    with pytest.raises(ConfigurationError):
+        RunSpec.from_json_dict({"banana": 1})
+
+
+def test_campaign_builders():
+    camp = subflow_sweep_campaign(["bcube", "vl2"], subflow_counts=[1, 2],
+                                  seeds=[1, 2, 3])
+    assert len(camp) == 2 * 2 * 3
+    # Topology-major, then count, then seed — the CLI grouping relies on it.
+    assert [r.topology for r in camp.runs[:6]] == ["bcube"] * 6
+    assert camp.content_hash() == subflow_sweep_campaign(
+        ["bcube", "vl2"], subflow_counts=[1, 2], seeds=[1, 2, 3]).content_hash()
+
+    fig = figure_campaign(["fig12"], subflow_counts=[1], seeds=[1])
+    assert fig.runs[0].topology == "bcube"
+    with pytest.raises(ConfigurationError):
+        figure_campaign(["fig09"])
+
+
+# ---------------------------------------------------------------------- cache
+
+def _payload(spec):
+    return {"schema_version": spec_mod.SCHEMA_VERSION,
+            "spec_hash": spec.content_hash(),
+            "metrics": {"energy_per_gb": 42.0}, "wall_s": 0.1}
+
+
+def test_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    spec = RunSpec(**FAST)
+    assert cache.get(spec) is None
+    cache.put(spec, _payload(spec))
+    assert cache.get(spec)["metrics"]["energy_per_gb"] == 42.0
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert cache.stats.writes == 1 and cache.size() == 1
+
+
+def test_cache_field_change_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = RunSpec(**FAST)
+    cache.put(spec, _payload(spec))
+    assert cache.get(spec.replace(seed=2)) is None
+    assert cache.get(spec.replace(n_subflows=2)) is None
+    assert cache.stats.hits == 0
+
+
+def test_cache_schema_bump_invalidates(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    spec = RunSpec(**FAST)
+    cache.put(spec, _payload(spec))
+    assert cache.get(spec) is not None
+    # An engine-breaking change bumps SCHEMA_VERSION: old entries (same
+    # path only if the hash matched, but the hash moves too) must never
+    # be served.  Simulate both halves: a stale file under the new
+    # version, and the hash movement itself.
+    monkeypatch.setattr(spec_mod, "SCHEMA_VERSION", spec_mod.SCHEMA_VERSION + 1)
+    monkeypatch.setattr(cache_mod, "SCHEMA_VERSION", cache_mod.SCHEMA_VERSION + 1)
+    assert cache.get(spec) is None
+
+    # Force the stale-file half explicitly: entry on disk written under
+    # an older schema_version at the exact lookup path.
+    path = cache.path_for(spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {"schema_version": spec_mod.SCHEMA_VERSION - 1,
+             "spec_hash": spec.content_hash(), "payload": _payload(spec)}
+    path.write_text(json.dumps(entry), encoding="utf-8")
+    before = cache.stats.invalidations
+    assert cache.get(spec) is None
+    assert cache.stats.invalidations == before + 1
+
+
+def test_cache_corrupted_file_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = RunSpec(**FAST)
+    cache.put(spec, _payload(spec))
+    path = cache.path_for(spec)
+
+    path.write_text("{not json at all", encoding="utf-8")
+    assert cache.get(spec) is None          # no crash
+
+    path.write_text(json.dumps(["wrong", "shape"]), encoding="utf-8")
+    assert cache.get(spec) is None
+
+    path.write_text(json.dumps({"schema_version": spec_mod.SCHEMA_VERSION}),
+                    encoding="utf-8")
+    assert cache.get(spec) is None          # missing keys
+    assert cache.stats.invalidations == 3
+
+    cache.put(spec, _payload(spec))         # writable again after corruption
+    assert cache.get(spec) is not None
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for seed in (1, 2, 3):
+        spec = RunSpec(seed=seed, **FAST)
+        cache.put(spec, _payload(spec))
+    assert cache.size() == 3
+    assert cache.clear() == 3
+    assert cache.size() == 0
+
+
+# ------------------------------------------------------------------- executor
+
+def _specs(n_seeds=2):
+    return [RunSpec(n_subflows=nsub, seed=seed, **FAST)
+            for nsub in (1, 2) for seed in range(1, n_seeds + 1)]
+
+
+def test_jobs1_and_jobs4_are_byte_identical():
+    specs = _specs()
+    serial = CampaignExecutor(jobs=1).run(specs)
+    pooled = CampaignExecutor(jobs=4).run(specs)
+    assert all(o.ok for o in serial) and all(o.ok for o in pooled)
+    for s, p in zip(serial, pooled):
+        assert json.dumps(s.metrics, sort_keys=True) == \
+            json.dumps(p.metrics, sort_keys=True)
+    # Deterministic step counts surface in the payload for telemetry.
+    assert serial[0].metrics["steps_taken"] == 40
+
+
+_BAD_SEED = 999
+
+
+def _failing_run(spec):
+    if spec.seed == _BAD_SEED:
+        raise RuntimeError("boom")
+    return {"spec_hash": spec.content_hash(), "metrics": {"seed": spec.seed},
+            "wall_s": 0.0}
+
+
+def _flaky_run(spec):
+    flag = Path(spec.params["flag"])
+    if not flag.exists():
+        flag.touch()
+        raise RuntimeError("first attempt always fails")
+    return {"spec_hash": spec.content_hash(), "metrics": {"seed": spec.seed},
+            "wall_s": 0.0}
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_raising_worker_is_retried_then_reported(jobs):
+    specs = [RunSpec(seed=1, **FAST), RunSpec(seed=_BAD_SEED, **FAST),
+             RunSpec(seed=2, **FAST)]
+    outcomes = CampaignExecutor(jobs=jobs, run_fn=_failing_run).run(specs)
+    assert [o.ok for o in outcomes] == [True, False, True]
+    bad = outcomes[1]
+    assert bad.attempts == 2                       # retried exactly once
+    assert "boom" in bad.error
+    assert outcomes[0].metrics["seed"] == 1        # campaign not killed
+    assert outcomes[2].metrics["seed"] == 2
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_retry_recovers_a_flaky_worker(tmp_path, jobs):
+    spec = RunSpec(seed=5, params={"flag": str(tmp_path / f"flag{jobs}")}, **FAST)
+    outcomes = CampaignExecutor(jobs=jobs, run_fn=_flaky_run).run([spec])
+    assert outcomes[0].ok
+    assert outcomes[0].attempts == 2
+
+
+def _sleepy_run(spec):
+    time.sleep(10.0)
+    return {"spec_hash": spec.content_hash(), "metrics": {}, "wall_s": 10.0}
+
+
+def test_run_timeout_reports_failure():
+    spec = RunSpec(seed=1, **FAST)
+    outcomes = CampaignExecutor(jobs=2, run_fn=_sleepy_run, run_timeout=0.3,
+                                retries=0).run([spec])
+    assert not outcomes[0].ok
+    assert "timed out" in outcomes[0].error
+
+
+def _counting_run(spec):
+    counter = Path(spec.params["counter"])
+    counter.write_text(str(int(counter.read_text() or "0") + 1)
+                       if counter.exists() else "1", encoding="utf-8")
+    return {"spec_hash": spec.content_hash(), "metrics": {"seed": spec.seed},
+            "wall_s": 0.0}
+
+
+def test_executor_uses_cache_on_second_campaign(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    spec = RunSpec(seed=3, params={"counter": str(tmp_path / "n")}, **FAST)
+    ex = CampaignExecutor(jobs=1, cache=cache, run_fn=_counting_run)
+    first = ex.run([spec])
+    second = ex.run([spec])
+    assert first[0].ok and not first[0].cached
+    assert second[0].ok and second[0].cached
+    assert (tmp_path / "n").read_text() == "1"     # run_fn called exactly once
+    assert cache.stats.hits == 1
+
+
+def test_failed_runs_are_not_cached(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = RunSpec(seed=_BAD_SEED, **FAST)
+    CampaignExecutor(jobs=1, cache=cache, run_fn=_failing_run).run([spec])
+    assert cache.size() == 0
+
+
+# ------------------------------------------------------------------ telemetry
+
+def test_telemetry_jsonl_log(tmp_path):
+    log = tmp_path / "log.jsonl"
+    tel = CampaignTelemetry(log_path=log)
+    specs = _specs(n_seeds=1)
+    outcomes = CampaignExecutor(jobs=1, telemetry=tel,
+                                cache=ResultCache(tmp_path / "c")).run(specs)
+    assert all(o.ok for o in outcomes)
+    records = [json.loads(line) for line in log.read_text().splitlines()]
+    events = [r["event"] for r in records]
+    assert events[0] == "campaign_started"
+    assert events[-1] == "campaign_finished"
+    assert events.count("run_completed") == len(specs)
+    finished = records[-1]
+    assert finished["runs_completed"] == len(specs)
+    assert finished["cache_writes"] == len(specs)
+    assert finished["wall_s"] > 0
+    completed = [r for r in records if r["event"] == "run_completed"]
+    assert all(r["steps_per_s"] > 0 for r in completed)
+    assert tel.counters["runs_completed"] == len(specs)
+
+
+def test_engine_throughput_reads_engine_counters():
+    from repro.fluidsim import FluidNetwork, FluidSimulation
+    from repro.net.events import Simulator
+
+    sim = Simulator(seed=1)
+    for i in range(50):
+        sim.schedule(i * 0.01, lambda: None)
+    sim.run()
+    assert sim.events_processed == 50
+    assert sim.wall_time_s > 0
+    assert sim.events_per_second > 0
+    stats = engine_throughput(sim, sim.wall_time_s)
+    assert stats["events_per_s"] == pytest.approx(sim.events_per_second)
+
+    from repro.campaign.spec import build_topology
+    net = FluidNetwork(build_topology("bcube"), path_seed=1)
+    net.add_connection(net.topology.hosts[0], net.topology.hosts[1],
+                       "lia", n_subflows=2)
+    net.finalize()
+    fsim = FluidSimulation(net, dt=0.01, seed=1)
+    fsim.run(0.2)
+    assert fsim.steps_taken == 20
+    assert fsim.steps_per_second > 0
+    stats = engine_throughput(fsim, fsim.wall_time_s)
+    assert stats["steps_per_s"] == pytest.approx(fsim.steps_per_second)
+
+
+def test_execute_run_payload_shape():
+    payload = execute_run(RunSpec(n_subflows=2, seed=1, **FAST))
+    assert payload["spec_hash"] == RunSpec(n_subflows=2, seed=1,
+                                           **FAST).content_hash()
+    metrics = payload["metrics"]
+    assert metrics["energy_per_gb"] > 0
+    assert metrics["aggregate_goodput_bps"] > 0
+    assert metrics["steps_taken"] == 40
+    assert metrics["n_connections"] == 64          # one flow per BCube host
+    json.dumps(payload)                            # JSON-serializable
+
+
+# ------------------------------------------------------------------------ CLI
+
+def test_cli_campaign_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(["campaign", "fig12", "--jobs", "1", "--subflows", "1",
+               "--seeds", "1", "--duration", "0.4", "--dt", "0.01",
+               "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "topology: bcube" in out
+    assert "1 runs, 0 cache hits" in out
+    assert (tmp_path / "campaign.log.jsonl").exists()
+
+    rc = main(["campaign", "fig12", "--jobs", "1", "--subflows", "1",
+               "--seeds", "1", "--duration", "0.4", "--dt", "0.01",
+               "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    assert "1 cache hits" in capsys.readouterr().out
+
+
+def test_cli_campaign_rejects_unknown_figure(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(["campaign", "fig09", "--cache-dir", str(tmp_path)])
+    assert rc == 2
+    assert "not campaignable" in capsys.readouterr().err
+
+
+def test_cli_sweep_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(["sweep", "--topologies", "bcube", "--subflows", "1", "2",
+               "--seeds", "1", "--duration", "0.4", "--dt", "0.01",
+               "--jobs", "2", "--cache-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "topology: bcube" in out
+    assert "2 runs" in out
+
+
+def test_paper_scale_campaign_spec():
+    from repro.experiments import paper_scale
+
+    camp = paper_scale.fig12_14_campaign()
+    assert len(camp) == 3 * 8 * 10
+    assert {r.topology for r in camp.runs} == {"bcube", "fattree", "vl2"}
+    assert all(r.duration == 1000.0 for r in camp.runs)
+    assert all(r.link_delay == paper_scale.PAPER_DC_LINK_DELAY
+               for r in camp.runs)
