@@ -1,0 +1,69 @@
+"""Observability overhead benchmarks.
+
+The instrumented engines must stay within a few percent of their
+pre-obs throughput (the ISSUE budget is <5% on ``bench_engines``).
+Two angles:
+
+* absolute throughput floors for the instrumented engines, with the
+  null tracer (the default) and with tracing enabled;
+* microbenchmarks of the disabled-path primitives themselves, asserting
+  the per-call cost stays sub-microsecond.
+"""
+
+import time
+
+import repro.obs as obs
+from bench_engines import fluid_fattree_step_batch, packet_transfer
+from conftest import run_once
+
+
+def test_packet_engine_with_tracing(benchmark):
+    """Packet engine under a tracing session still clears the floor."""
+
+    def traced():
+        with obs.session(trace=True):
+            return packet_transfer()
+
+    events = run_once(benchmark, traced)
+    assert events > 10_000
+
+
+def test_fluid_engine_with_tracing(benchmark):
+    def traced():
+        with obs.session(trace=True):
+            return fluid_fattree_step_batch()
+
+    subflows = run_once(benchmark, traced)
+    assert 450 <= subflows <= 512
+
+
+def test_null_span_cost(benchmark):
+    """Disabled spans+instants: well under a microsecond per pair."""
+    tracer = obs.NULL_TRACER
+    n = 100_000
+
+    def loop():
+        t0 = time.perf_counter()
+        for i in range(n):
+            with tracer.span("hot", i=i):
+                tracer.instant("tick", i=i)
+        return (time.perf_counter() - t0) / n
+
+    per_call = run_once(benchmark, loop)
+    assert per_call < 5e-6
+
+
+def test_counter_inc_cost(benchmark):
+    reg = obs.MetricsRegistry()
+    counter = reg.counter("bench")
+    n = 1_000_000
+
+    def loop():
+        t0 = time.perf_counter()
+        for _ in range(n):
+            counter.inc()
+        return (time.perf_counter() - t0) / n
+
+    per_call = run_once(benchmark, loop)
+    assert per_call < 1e-6
+    assert counter.value >= n

@@ -30,7 +30,11 @@ from repro.campaign.spec import (
     figure_campaign,
     subflow_sweep_campaign,
 )
-from repro.campaign.telemetry import CampaignTelemetry, engine_throughput
+from repro.campaign.telemetry import (
+    CampaignTelemetry,
+    engine_throughput,
+    throughput_from_snapshot,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -43,6 +47,7 @@ __all__ = [
     "RunSpec",
     "build_topology",
     "engine_throughput",
+    "throughput_from_snapshot",
     "execute_run",
     "figure_campaign",
     "subflow_sweep_campaign",

@@ -112,20 +112,23 @@ class ResultCache:
         return path
 
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed."""
+        """Delete every cached entry (and sidecar manifests); returns how
+        many *entries* were removed."""
         removed = 0
         if not self.cache_dir.is_dir():
             return 0
         for entry in self.cache_dir.glob("*/*.json"):
             try:
                 entry.unlink()
-                removed += 1
+                if not entry.name.endswith(".manifest.json"):
+                    removed += 1
             except OSError:
                 pass
         return removed
 
     def size(self) -> int:
-        """Number of entries currently on disk."""
+        """Number of entries currently on disk (manifests excluded)."""
         if not self.cache_dir.is_dir():
             return 0
-        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+        return sum(1 for p in self.cache_dir.glob("*/*.json")
+                   if not p.name.endswith(".manifest.json"))

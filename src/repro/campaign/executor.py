@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.campaign.cache import ResultCache
 from repro.campaign.spec import SCHEMA_VERSION, RunSpec, build_topology
 from repro.campaign.telemetry import CampaignTelemetry
@@ -41,7 +42,9 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
     and must derive *everything* from the spec so results are
     reproducible in any process.  Returns a JSON-serializable payload:
     ``metrics`` holds only deterministic quantities; ``wall_s`` (worker
-    compute seconds) sits alongside so identical runs stay comparable.
+    compute seconds) and ``obs`` (the run's full metrics-registry
+    snapshot, which includes wall-clock counters) sit alongside so
+    identical runs stay comparable.
     """
     if spec.engine != "fluid":  # pragma: no cover - guarded by RunSpec
         raise ValueError(f"unsupported engine {spec.engine!r}")
@@ -49,16 +52,21 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
     from repro.workloads.permutation import random_permutation_pairs
 
     t0 = time.perf_counter()
+    # A private registry (not the ambient session's): each run's payload
+    # gets an isolated, mergeable snapshot even with jobs=1 inline runs.
+    registry = obs.MetricsRegistry()
     topo = build_topology(spec.topology, link_delay=spec.link_delay)
     net = FluidNetwork(topo, path_seed=spec.seed)
     pairs = random_permutation_pairs(topo.hosts, np.random.default_rng(spec.seed))
     for src, dst in pairs:
         net.add_connection(src, dst, spec.algorithm, n_subflows=spec.n_subflows)
     net.finalize()
-    sim = FluidSimulation(net, dt=spec.dt, seed=spec.seed, **spec.params)
+    sim = FluidSimulation(net, dt=spec.dt, seed=spec.seed, metrics=registry,
+                          **spec.params)
     result = sim.run(spec.duration)
     wall_s = time.perf_counter() - t0
 
+    snapshot = registry.snapshot()
     metrics = {
         "energy_per_gb": result.energy_per_gb(),
         "aggregate_goodput_bps": result.aggregate_goodput_bps,
@@ -71,13 +79,14 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
         "mean_utilization": float(np.mean(result.mean_utilization)),
         "n_connections": len(net.connections),
         "n_subflows_total": net.n_subflows,
-        "steps_taken": sim.steps_taken,
+        "steps_taken": int(snapshot["engine.steps_taken"]),
     }
     return {
         "schema_version": SCHEMA_VERSION,
         "spec_hash": spec.content_hash(),
         "metrics": metrics,
         "wall_s": wall_s,
+        "obs": snapshot,
     }
 
 
@@ -160,7 +169,8 @@ class CampaignExecutor:
                                   cached=True, attempts=outcome.attempts)
             elif outcome.ok:
                 if self.cache is not None:
-                    self.cache.put(outcome.spec, outcome.payload)
+                    path = self.cache.put(outcome.spec, outcome.payload)
+                    self._write_manifest(campaign_name, outcome, path)
                 tel.run_completed(outcome.spec, outcome.payload, outcome.wall_s,
                                   cached=False, attempts=outcome.attempts)
             else:
@@ -172,6 +182,29 @@ class CampaignExecutor:
                 tel.counters[f"cache_{name}"] = value
         tel.campaign_finished(campaign_name)
         return outcomes  # type: ignore[return-value]
+
+    @staticmethod
+    def _write_manifest(campaign_name: str, outcome: RunOutcome, path) -> None:
+        """Write a provenance manifest next to the cached result.
+
+        Best-effort: a manifest failure must never fail the campaign.
+        """
+        try:
+            manifest = obs.RunManifest.capture(
+                label=f"{campaign_name}:{outcome.spec.topology}",
+                spec_hash=outcome.spec.content_hash(),
+                seed=outcome.spec.seed,
+                metrics=outcome.payload.get("obs", {}),
+                annotations={
+                    "algorithm": outcome.spec.algorithm,
+                    "n_subflows": outcome.spec.n_subflows,
+                    "duration": outcome.spec.duration,
+                    "wall_s": outcome.payload.get("wall_s"),
+                },
+            )
+            manifest.write(path.with_name(path.stem + ".manifest.json"))
+        except Exception:  # noqa: BLE001 - provenance is advisory
+            pass
 
     # ----------------------------------------------------------- strategies
 

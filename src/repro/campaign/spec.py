@@ -25,7 +25,9 @@ from repro.units import ms
 #: Bump whenever engine or payload changes invalidate previously cached
 #: results.  Participates in every spec hash and is stored in each cache
 #: entry, so old entries become misses rather than stale hits.
-SCHEMA_VERSION = 1
+#: v2: payloads carry an "obs" metrics-registry snapshot and engine
+#: counters are derived from it.
+SCHEMA_VERSION = 2
 
 #: Topologies a RunSpec can name (the paper's datacenter fabrics).
 KNOWN_TOPOLOGIES = ("bcube", "fattree", "vl2")

@@ -10,10 +10,13 @@ file, so a campaign leaves an audit trail that survives the process::
      "topology": "bcube", "n_subflows": 4, "seed": 1, "cached": false,
      "wall_s": 1.93, "steps_per_s": 3891.2}
 
-Engine throughput is read from the engines' own run counters
-(``net.events.Simulator.events_processed`` for the packet engine,
-``fluidsim.FluidSimulation.steps_taken`` for the fluid engine) via
-:func:`engine_throughput` — no caller instrumentation needed.
+Engine throughput comes from the obs metrics registry: worker payloads
+carry a registry snapshot under ``"obs"`` (see
+:func:`repro.campaign.executor.execute_run`) read by
+:func:`throughput_from_snapshot`; live engine objects still work through
+:func:`engine_throughput`, which duck-types their compatibility counters
+(``events_processed`` / ``steps_taken``) — themselves thin views over
+the same registry instruments.
 """
 
 from __future__ import annotations
@@ -40,6 +43,27 @@ def engine_throughput(engine: Any, wall_s: float) -> Dict[str, float]:
     if events is not None:
         out["events_per_s"] = float(events) / wall_s
     steps = getattr(engine, "steps_taken", None)
+    if steps is not None:
+        out["steps_per_s"] = float(steps) / wall_s
+    return out
+
+
+def throughput_from_snapshot(snapshot: Dict[str, Any],
+                             wall_s: float) -> Dict[str, float]:
+    """Throughput stats from a metrics-registry snapshot.
+
+    The snapshot is the ``"obs"`` payload key produced by
+    :meth:`repro.obs.MetricsRegistry.snapshot`; the counter names are
+    the engines' canonical instruments (``engine.events_processed`` for
+    the packet simulator, ``engine.steps_taken`` for the fluid engine).
+    """
+    out: Dict[str, float] = {}
+    if wall_s <= 0:
+        return out
+    events = snapshot.get("engine.events_processed")
+    if events is not None:
+        out["events_per_s"] = float(events) / wall_s
+    steps = snapshot.get("engine.steps_taken")
     if steps is not None:
         out["steps_per_s"] = float(steps) / wall_s
     return out
@@ -129,7 +153,8 @@ class CampaignTelemetry:
         for key in ("energy_per_gb", "aggregate_goodput_bps"):
             if key in metrics:
                 fields[key] = metrics[key]
-        throughput = engine_throughput(_MetricsView(metrics), wall_s)
+        snapshot = payload.get("obs", {}) if isinstance(payload, dict) else {}
+        throughput = throughput_from_snapshot(snapshot, wall_s)
         for key, value in throughput.items():
             self.observe(key, value)
             fields[key] = round(value, 3)
@@ -154,15 +179,6 @@ class CampaignTelemetry:
     def summary(self) -> Dict[str, Any]:
         """Counters plus aggregated observations, as one flat-ish dict."""
         out: Dict[str, Any] = dict(self.counters)
-        for name, obs in self.observations.items():
-            out[name + "_stats"] = obs.as_dict()
+        for name, observation in self.observations.items():
+            out[name + "_stats"] = observation.as_dict()
         return out
-
-
-class _MetricsView:
-    """Adapter giving a metrics dict the engine-counter attributes that
-    :func:`engine_throughput` duck-types on."""
-
-    def __init__(self, metrics: Dict[str, Any]):
-        self.events_processed = metrics.get("events_processed")
-        self.steps_taken = metrics.get("steps_taken")

@@ -11,6 +11,11 @@ Campaign mode (parallel, cached — see docs/USAGE.md):
 
     python -m repro campaign fig12 fig13 fig14 --jobs 4
     python -m repro sweep --topologies bcube vl2 --subflows 1 2 4 8 --jobs 4
+
+Observability (docs/OBSERVABILITY.md):
+
+    python -m repro fig08 --trace fig08.trace.json --metrics fig08.metrics.jsonl
+    python -m repro obs report fig08.trace.json fig08.metrics.jsonl
 """
 
 from __future__ import annotations
@@ -90,6 +95,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FIGURE",
         help="figure ids (fig01 ... fig17), 'list', or 'all'",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span/instant trace of the figure runs; '.jsonl' "
+             "writes raw JSONL, anything else Chrome trace_event JSON "
+             "(load in Perfetto / chrome://tracing)")
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the final metrics-registry snapshot as JSONL")
+    parser.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="write a run-provenance manifest (default when --trace or "
+             "--metrics is given: alongside that file)")
     return parser
 
 
@@ -278,6 +295,72 @@ def _sweep_main(argv: List[str]) -> int:
     return _run_campaign_specs(campaign, executor, telemetry, log_path)
 
 
+# ------------------------------------------------------------------------ obs
+
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Inspect observability artifacts: traces, metrics "
+                    "snapshots, run manifests, telemetry logs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="summarize artifact files (kind is sniffed)")
+    report.add_argument("files", nargs="+", metavar="FILE")
+    return parser
+
+
+def _obs_main(argv: List[str]) -> int:
+    args = build_obs_parser().parse_args(argv)
+    from repro.obs.report import render_file
+
+    rc = 0
+    for path in args.files:
+        try:
+            print(render_file(path))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            rc = 2
+    return rc
+
+
+def _run_observed(targets: List[str], runners: Dict[str, Callable[[], None]],
+                  trace: str | None, metrics: str | None,
+                  manifest: str | None) -> None:
+    """Run figures under an ambient obs session and export artifacts."""
+    import hashlib
+
+    import repro.obs as obs
+
+    with obs.session(trace=trace is not None,
+                     label="figures:" + ",".join(targets)) as session:
+        for name in targets:
+            print(f"=== {name} " + "=" * (60 - len(name)))
+            start = time.time()
+            with session.tracer.span(f"figure.{name}"):
+                runners[name]()
+            print(f"--- {name} done in {time.time() - start:.1f}s\n")
+
+    if trace is not None:
+        if trace.endswith(".jsonl"):
+            session.tracer.export_jsonl(trace)
+        else:
+            session.tracer.export_chrome(trace)
+        print(f"trace: {trace} ({len(session.tracer.records)} records)")
+    if metrics is not None:
+        n = session.registry.write_jsonl(metrics)
+        print(f"metrics: {metrics} ({n} instruments)")
+    if manifest is None:
+        anchor = trace if trace is not None else metrics
+        if anchor is not None:
+            manifest = anchor + ".manifest.json"
+    if manifest is not None:
+        spec_hash = hashlib.sha256(
+            ("repro.figures:" + ",".join(targets)).encode()).hexdigest()
+        session.manifest(spec_hash=spec_hash).write(manifest)
+        print(f"manifest: {manifest}")
+
+
 # ----------------------------------------------------------------------- main
 
 def main(argv: List[str] | None = None) -> int:
@@ -287,6 +370,8 @@ def main(argv: List[str] | None = None) -> int:
         return _campaign_main(argv[1:])
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     runners = _figure_runners()
@@ -295,7 +380,8 @@ def main(argv: List[str] | None = None) -> int:
         print("available figures:")
         for name in sorted(runners):
             print(f"  {name}")
-        print("subcommands: campaign, sweep (parallel cached runs; --help)")
+        print("subcommands: campaign, sweep (parallel cached runs), "
+              "obs (artifact reports); see --help")
         return 0
 
     targets = sorted(runners) if "all" in args.targets else args.targets
@@ -304,6 +390,10 @@ def main(argv: List[str] | None = None) -> int:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(sorted(runners))}", file=sys.stderr)
         return 2
+
+    if args.trace or args.metrics or args.manifest:
+        _run_observed(targets, runners, args.trace, args.metrics, args.manifest)
+        return 0
 
     for name in targets:
         print(f"=== {name} " + "=" * (60 - len(name)))

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.energy.cpu import HostPowerModel
 from repro.errors import ConfigurationError
 from repro.net.monitor import PeriodicSampler
@@ -80,6 +81,12 @@ class ConnectionEnergyMeter:
         self.times: List[float] = []
         self.powers: List[float] = []
         self._last_acked = [0 for _ in connection.subflows]
+        registry = obs.registry_or_new()
+        self.tracer = obs.current_tracer()
+        self._power_hist = registry.histogram(
+            "energy.power_w", obs.geometric_buckets(0.25, 256.0))
+        self._samples_counter = registry.counter("energy.samples")
+        self._joules_counter = registry.counter("energy.joules")
         self._sampler = PeriodicSampler(sim, interval, self._sample)
 
     def stop(self) -> None:
@@ -106,5 +113,11 @@ class ConnectionEnergyMeter:
         self.times.append(now)
         self.powers.append(power)
         self.energy_j += power * self.interval
+        self._power_hist.observe(power)
+        self._samples_counter.inc()
+        self._joules_counter.inc(power * self.interval)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "energy.sample", power_w=round(power, 3), sim_now=round(now, 6))
         if conn.completed:
             self._sampler.stop()

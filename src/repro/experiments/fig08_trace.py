@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+import repro.obs as obs
 from repro.analysis.report import format_table
 from repro.analysis.timeseries import bin_series
 from repro.energy.accounting import ConnectionEnergyMeter
@@ -71,6 +72,7 @@ def run(
     bin_width: float = 2.0,
 ) -> Fig08Result:
     """Trace LIA and DTS side by side (same seed => same burst pattern)."""
+    obs.annotate(seed=seed, duration=duration, bin_width=bin_width)
     return Fig08Result(
         traces={
             "lia": _trace("lia", duration, seed, bin_width),

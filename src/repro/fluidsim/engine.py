@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.energy.cpu import HostPowerModel, WiredPathPower, default_wired_host
 from repro.energy.switch import SwitchPowerModel
 from repro.errors import ConfigurationError
@@ -92,6 +93,8 @@ class FluidSimulation:
         ecn_threshold_packets: Optional[int] = None,
         initial_window: float = 10.0,
         energy_sample_every: int = 10,
+        metrics: Optional["obs.MetricsRegistry"] = None,
+        tracer=None,
     ):
         if network.base_rtt is None:
             raise ConfigurationError("finalize() the FluidNetwork before simulating")
@@ -100,11 +103,18 @@ class FluidSimulation:
         self.net = network
         self.dt = dt
         self.rng = np.random.default_rng(seed)
-        #: Integration steps executed across all run() calls, and the
-        #: wall-clock seconds they took — read by campaign telemetry for
-        #: steps/second without instrumenting callers.
-        self.steps_taken: int = 0
-        self.wall_time_s: float = 0.0
+        # Registry-backed run counters (read by campaign telemetry for
+        # steps/second without instrumenting callers) plus the per-step
+        # probe instruments; :attr:`steps_taken` / :attr:`wall_time_s`
+        # remain available as compatibility properties.
+        self.metrics = metrics if metrics is not None else obs.registry_or_new()
+        self.tracer = tracer if tracer is not None else obs.current_tracer()
+        self._steps_counter = self.metrics.counter("engine.steps_taken")
+        self._wall_counter = self.metrics.counter("engine.wall_time_s")
+        self._residual_gauge = self.metrics.gauge("fluid.residual")
+        self._rate_norm_hist = self.metrics.histogram(
+            "fluid.rate_norm_bps", obs.geometric_buckets(1e3, 1e13, 10.0))
+        self._prev_w: Optional[np.ndarray] = None
         self.host_power = host_power if host_power is not None else default_wired_host()
         self.switch_power = switch_power if switch_power is not None else SwitchPowerModel()
         self.energy_sample_every = max(1, energy_sample_every)
@@ -149,11 +159,24 @@ class FluidSimulation:
     # ------------------------------------------------------------------ run
 
     @property
+    def steps_taken(self) -> int:
+        """Integration steps executed so far (compat view of the
+        ``engine.steps_taken`` counter)."""
+        return int(self._steps_counter.value)
+
+    @property
+    def wall_time_s(self) -> float:
+        """Wall-clock seconds spent in run() so far (compat view of the
+        ``engine.wall_time_s`` counter)."""
+        return float(self._wall_counter.value)
+
+    @property
     def steps_per_second(self) -> float:
         """Integration throughput over the steps run so far."""
-        if self.wall_time_s <= 0:
+        wall = self._wall_counter.value
+        if wall <= 0:
             return 0.0
-        return self.steps_taken / self.wall_time_s
+        return self._steps_counter.value / wall
 
     def run(self, duration: float) -> SimulationResult:
         """Integrate for ``duration`` seconds and return the results."""
@@ -177,81 +200,110 @@ class FluidSimulation:
         samples_goodput: List[float] = []
         samples_power: List[float] = []
 
+        tracer = self.tracer
+        traced = tracer.enabled
+        probe_span = tracer.span("fluid.run", duration=duration,
+                                 n_steps=n_steps, n_subflows=len(self.w))
+        probe_span.__enter__()
         now = 0.0
-        for step in range(n_steps):
-            now = (step + 1) * dt
-            x_pkts = self.w / self.rtt
-            x_bps = x_pkts * pkt_bits
-            y = R @ x_bps
-            # Queues and loss.
-            overload = y - cap
-            self.queue_bits += overload * dt
-            np.clip(self.queue_bits, 0.0, buf, out=self.queue_bits)
-            full = self.queue_bits >= buf * 0.999
-            p_link = np.where((overload > 0) & full, overload / np.maximum(y, _EPS), 0.0)
-            marked_link = (self.queue_bits > self.ecn_threshold_bits).astype(float)
-            # Per-subflow path state.
-            qdelay = Rt @ (self.queue_bits * inv_cap)
-            self.rtt = net.base_rtt + qdelay
-            p_path = np.minimum(Rt @ p_link, 0.5)
-            marked_path = np.minimum(Rt @ marked_link, 1.0)
-            util = np.minimum(y * inv_cap, 1.0)
+        steps_done = 0
+        try:
+            for step in range(n_steps):
+                now = (step + 1) * dt
+                x_pkts = self.w / self.rtt
+                x_bps = x_pkts * pkt_bits
+                y = R @ x_bps
+                # Queues and loss.
+                overload = y - cap
+                self.queue_bits += overload * dt
+                np.clip(self.queue_bits, 0.0, buf, out=self.queue_bits)
+                full = self.queue_bits >= buf * 0.999
+                p_link = np.where((overload > 0) & full,
+                                  overload / np.maximum(y, _EPS), 0.0)
+                marked_link = (self.queue_bits > self.ecn_threshold_bits).astype(float)
+                # Per-subflow path state.
+                qdelay = Rt @ (self.queue_bits * inv_cap)
+                self.rtt = net.base_rtt + qdelay
+                p_path = np.minimum(Rt @ p_link, 0.5)
+                marked_path = np.minimum(Rt @ marked_link, 1.0)
+                util = np.minimum(y * inv_cap, 1.0)
 
-            delivered = x_bps * (1.0 - p_path) * dt
-            np.add.at(self.delivered_bits, net.subflow_conn, delivered)
+                delivered = x_bps * (1.0 - p_path) * dt
+                np.add.at(self.delivered_bits, net.subflow_conn, delivered)
 
-            # Loss events: Poisson thinning, suppressed during recovery.
-            lam = p_path * x_pkts
-            can_lose = now >= self.recovery_until
-            prob = 1.0 - np.exp(-lam * dt)
-            losing = can_lose & (self.rng.random(len(self.w)) < prob)
+                # Loss events: Poisson thinning, suppressed during recovery.
+                lam = p_path * x_pkts
+                can_lose = now >= self.recovery_until
+                prob = 1.0 - np.exp(-lam * dt)
+                losing = can_lose & (self.rng.random(len(self.w)) < prob)
 
-            # Per-cohort CC updates.
-            for cohort in net.cohorts:
-                ids = cohort.ids
-                st = CohortState(
-                    w=self.w[ids],
-                    rtt=self.rtt[ids],
-                    base_rtt=net.base_rtt[ids],
-                    loss=p_path[ids],
-                    queueing=qdelay[ids],
-                    switch_hops=net.switch_hops[ids],
-                    ecn_marked=marked_path[ids],
-                    user_starts=cohort.user_starts,
-                    user_of=cohort.user_of,
-                )
-                increase = cohort.algorithm.per_ack_increase(st)
-                dw = increase * st.x_pkts * dt
-                dw += cohort.algorithm.rate_adjustment(st, dt)
-                new_w = st.w + dw
-                lose_here = losing[ids]
-                if cohort.algorithm.uses_ecn:
-                    lose_here = lose_here & (st.loss > 0)
-                if np.any(lose_here):
-                    factor = cohort.algorithm.loss_decrease_factor(st)
-                    new_w = np.where(lose_here, st.w * factor, new_w)
-                self.w[ids] = np.maximum(new_w, 1.0)
-                if np.any(lose_here):
-                    gids = ids[lose_here]
-                    self.loss_events[gids] += 1
-                    self.recovery_until[gids] = now + self.rtt[gids]
+                # Per-cohort CC updates.
+                for cohort in net.cohorts:
+                    ids = cohort.ids
+                    st = CohortState(
+                        w=self.w[ids],
+                        rtt=self.rtt[ids],
+                        base_rtt=net.base_rtt[ids],
+                        loss=p_path[ids],
+                        queueing=qdelay[ids],
+                        switch_hops=net.switch_hops[ids],
+                        ecn_marked=marked_path[ids],
+                        user_starts=cohort.user_starts,
+                        user_of=cohort.user_of,
+                    )
+                    increase = cohort.algorithm.per_ack_increase(st)
+                    dw = increase * st.x_pkts * dt
+                    dw += cohort.algorithm.rate_adjustment(st, dt)
+                    new_w = st.w + dw
+                    lose_here = losing[ids]
+                    if cohort.algorithm.uses_ecn:
+                        lose_here = lose_here & (st.loss > 0)
+                    if np.any(lose_here):
+                        factor = cohort.algorithm.loss_decrease_factor(st)
+                        new_w = np.where(lose_here, st.w * factor, new_w)
+                    self.w[ids] = np.maximum(new_w, 1.0)
+                    if np.any(lose_here):
+                        gids = ids[lose_here]
+                        self.loss_events[gids] += 1
+                        self.recovery_until[gids] = now + self.rtt[gids]
 
-            rtt_accum += self.rtt
-            util_accum += util
+                rtt_accum += self.rtt
+                util_accum += util
+                steps_done += 1
 
-            # Energy (sampled every few steps for speed).
-            if step % self.energy_sample_every == 0:
-                energy_steps += 1
-                host_p = self._host_power_now(x_bps)
-                switch_p = self._switch_power_now(util)
-                host_energy += host_p * dt * self.energy_sample_every
-                switch_energy += switch_p * dt * self.energy_sample_every
-                samples_t.append(now)
-                samples_goodput.append(float(np.sum(x_bps * (1.0 - p_path))))
-                samples_power.append(host_p + switch_p)
-
-        self.steps_taken += n_steps
-        self.wall_time_s += time.perf_counter() - wall_start
+                # Energy + obs probes (sampled every few steps for speed).
+                if step % self.energy_sample_every == 0:
+                    energy_steps += 1
+                    host_p = self._host_power_now(x_bps)
+                    switch_p = self._switch_power_now(util)
+                    host_energy += host_p * dt * self.energy_sample_every
+                    switch_energy += switch_p * dt * self.energy_sample_every
+                    samples_t.append(now)
+                    samples_goodput.append(float(np.sum(x_bps * (1.0 - p_path))))
+                    samples_power.append(host_p + switch_p)
+                    # Rate-vector norm and convergence residual: how far
+                    # the window vector moved since the last sample,
+                    # relative to its magnitude — near zero at the
+                    # equilibrium of the Section IV fluid model.
+                    rate_norm = float(np.linalg.norm(x_bps))
+                    self._rate_norm_hist.observe(rate_norm)
+                    if self._prev_w is not None and len(self._prev_w) == len(self.w):
+                        denom = float(np.linalg.norm(self._prev_w))
+                        residual = float(
+                            np.linalg.norm(self.w - self._prev_w) / (denom + _EPS))
+                        self._residual_gauge.set(residual)
+                    else:
+                        residual = float("nan")
+                    self._prev_w = self.w.copy()
+                    if traced:
+                        tracer.instant(
+                            "fluid.step", step=step, sim_now=round(now, 6),
+                            rate_norm_bps=rate_norm, residual=residual,
+                            power_w=host_p + switch_p)
+        finally:
+            probe_span.__exit__(None, None, None)
+            self._steps_counter.inc(steps_done)
+            self._wall_counter.inc(time.perf_counter() - wall_start)
         goodput = self.delivered_bits / duration
         return SimulationResult(
             duration=duration,

@@ -9,7 +9,12 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import SimulationError
+
+#: Queue depth / dispatch probes fire once per this many events, keeping
+#: per-event cost at a mask-and-test even while tracing is enabled.
+_PROBE_EVERY = 1024
 
 
 class EventHandle:
@@ -41,30 +46,48 @@ class Simulator:
         Seed for the simulator-owned random generator. All stochastic
         elements of a simulation (random losses, workload arrivals) must
         draw from :attr:`rng` so runs are reproducible.
+    metrics:
+        Metrics registry to report through; defaults to the ambient obs
+        session's registry, or a private one outside a session.
+    tracer:
+        Span tracer; defaults to the ambient session's (the shared
+        no-op tracer outside a session).
     """
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None, *,
+                 metrics: Optional["obs.MetricsRegistry"] = None,
+                 tracer=None):
         self.now: float = 0.0
         self.rng = np.random.default_rng(seed)
         self._heap: list = []
         self._counter = itertools.count()
-        self._events_processed = 0
-        #: Wall-clock seconds spent inside run() so far — read together
-        #: with :attr:`events_processed` by campaign telemetry for
-        #: events/second without instrumenting callers.
-        self.wall_time_s: float = 0.0
+        self.metrics = metrics if metrics is not None else obs.registry_or_new()
+        self.tracer = tracer if tracer is not None else obs.current_tracer()
+        self._events_counter = self.metrics.counter("engine.events_processed")
+        self._wall_counter = self.metrics.counter("engine.wall_time_s")
+        self._queue_gauge = self.metrics.gauge("engine.queue_depth")
+        self._queue_hist = self.metrics.histogram(
+            "engine.queue_depth_sampled", obs.geometric_buckets(1, 1 << 20))
 
     @property
     def events_processed(self) -> int:
-        """Number of events executed so far (for diagnostics)."""
-        return self._events_processed
+        """Number of events executed so far (compat view of the
+        ``engine.events_processed`` counter)."""
+        return int(self._events_counter.value)
+
+    @property
+    def wall_time_s(self) -> float:
+        """Wall-clock seconds spent inside run() so far (compat view of
+        the ``engine.wall_time_s`` counter)."""
+        return float(self._wall_counter.value)
 
     @property
     def events_per_second(self) -> float:
         """Event-processing throughput over all run() calls so far."""
-        if self.wall_time_s <= 0:
+        wall = self._wall_counter.value
+        if wall <= 0:
             return 0.0
-        return self._events_processed / self.wall_time_s
+        return self._events_counter.value / wall
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -96,26 +119,38 @@ class Simulator:
         """
         executed = 0
         heap = self._heap
+        tracer = self.tracer
+        traced = tracer.enabled
         wall_start = time.perf_counter()
         try:
-            while heap:
-                when, _, handle = heap[0]
-                if until is not None and when > until:
+            with tracer.span("sim.run", until=until, start=self.now):
+                while heap:
+                    when, _, handle = heap[0]
+                    if until is not None and when > until:
+                        self.now = until
+                        return
+                    heapq.heappop(heap)
+                    if handle.cancelled:
+                        continue
+                    self.now = when
+                    handle.callback(*handle.args)
+                    executed += 1
+                    if executed % _PROBE_EVERY == 0:
+                        self._queue_hist.observe(len(heap))
+                        if traced:
+                            tracer.instant(
+                                "sim.dispatch", sim_now=self.now,
+                                queue_depth=len(heap),
+                                callback=getattr(handle.callback, "__qualname__",
+                                                 repr(handle.callback)))
+                    if max_events is not None and executed >= max_events:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                if until is not None:
                     self.now = until
-                    return
-                heapq.heappop(heap)
-                if handle.cancelled:
-                    continue
-                self.now = when
-                handle.callback(*handle.args)
-                self._events_processed += 1
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
-            if until is not None:
-                self.now = until
         finally:
-            self.wall_time_s += time.perf_counter() - wall_start
+            self._events_counter.inc(executed)
+            self._wall_counter.inc(time.perf_counter() - wall_start)
+            self._queue_gauge.set(len(heap))
 
     def pending(self) -> int:
         """Number of events still queued (including cancelled stubs)."""

@@ -202,6 +202,9 @@ class TcpSender:
         self.controller: Optional["CongestionController"] = None
         #: Index of this subflow within its connection (set by MptcpConnection).
         self.subflow_index = 0
+        #: Optional observability probe (see repro.net.mptcp.ConnectionProbe);
+        #: attached by MptcpConnection when an obs session is active.
+        self.probe = None
 
         # --- window state (in segments; cwnd is fractional) ---
         self.cwnd = float(initial_cwnd)
@@ -445,6 +448,8 @@ class TcpSender:
                 self._grow_window(newly)
         else:
             self._grow_window(newly)
+        if self.probe is not None:
+            self.probe.on_ack(self)
         if self.inflight > 0:
             self._restart_rto_timer()
         else:
@@ -506,6 +511,8 @@ class TcpSender:
             self.controller.on_loss(self)
         else:
             self.cwnd = max(1.0, self.cwnd / 2)
+        if self.probe is not None:
+            self.probe.on_loss(self, "fast_retransmit")
         self.ssthresh = max(2.0, self.cwnd)
         # The first hole (the cumulative-ACK point) is retransmitted
         # immediately; further holes are filled by _send_available as the
@@ -552,6 +559,8 @@ class TcpSender:
         self._rto_backoff = min(64.0, self._rto_backoff * 2)
         if self.controller is not None:
             self.controller.on_timeout(self)
+        if self.probe is not None:
+            self.probe.on_loss(self, "timeout")
         self._retransmitted_holes.add(self.acked)
         self._retx_outstanding.add(self.acked)
         self._send_segment(self.acked, is_retransmit=True)

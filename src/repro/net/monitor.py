@@ -16,8 +16,19 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.mptcp import MptcpConnection
 
 
+#: Tolerance for float drift when comparing tick times against ``until``.
+_UNTIL_EPS = 1e-9
+
+
 class PeriodicSampler:
-    """Calls ``callback(now)`` every ``interval`` seconds until stopped."""
+    """Calls ``callback(now)`` every ``interval`` seconds until stopped.
+
+    With ``until`` set, the last tick is the largest multiple of
+    ``interval`` that is ``<= until`` (within a small float tolerance);
+    no event is left scheduled past the deadline. :meth:`stop` cancels
+    the pending tick immediately — including when called from inside the
+    callback — so a stopped sampler leaves nothing in the event queue.
+    """
 
     def __init__(
         self,
@@ -34,19 +45,32 @@ class PeriodicSampler:
         self.callback = callback
         self.until = until
         self._stopped = False
-        sim.schedule(interval, self._tick)
+        self._pending = None
+        if until is None or interval <= until + _UNTIL_EPS:
+            self._pending = sim.schedule(interval, self._tick)
+
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has been called (or no tick ever fit)."""
+        return self._stopped
 
     def stop(self) -> None:
-        """Stop sampling after the current tick."""
+        """Stop sampling and cancel the pending tick."""
         self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     def _tick(self) -> None:
+        self._pending = None
         if self._stopped:
             return
-        if self.until is not None and self.sim.now > self.until:
-            return
         self.callback(self.sim.now)
-        self.sim.schedule(self.interval, self._tick)
+        if self._stopped:  # stop() called from inside the callback
+            return
+        next_time = self.sim.now + self.interval
+        if self.until is None or next_time <= self.until + _UNTIL_EPS:
+            self._pending = self.sim.schedule(self.interval, self._tick)
 
 
 class FlowMonitor:

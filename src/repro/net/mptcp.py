@@ -15,8 +15,9 @@ bottleneck and congestion control alone determines per-path rates.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+import repro.obs as obs
 from repro.errors import ConfigurationError
 from repro.net.flow import SegmentSupply, TcpSender
 from repro.net.routing import Route
@@ -27,6 +28,77 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.events import Simulator
 
 _flow_ids = itertools.count(1)
+
+
+class ConnectionProbe:
+    """Per-ACK observability for one connection's subflows.
+
+    Attached to every subflow's :attr:`~repro.net.flow.TcpSender.probe`
+    when an obs session is active (and never otherwise, so the default
+    packet path pays one ``is None`` test per ACK).  It records the
+    registry series behind the paper's trace figures — congestion-window
+    distribution, loss events, and for DTS controllers the Eq. (5)
+    epsilon values and traffic-shifting decisions — and, when tracing is
+    on, emits instant events at shifting transitions and losses plus a
+    sampled cwnd timeline.
+    """
+
+    #: Emit a cwnd trace instant every this many ACKs per connection.
+    CWND_SAMPLE_EVERY = 64
+
+    #: Epsilon below this freezes growth / above boosts it (Section V.A's
+    #: reading of Eq. 5: E[eps] = 1, eps < 1 on delay-inflated paths).
+    FREEZE_BELOW = 0.99
+    BOOST_ABOVE = 1.01
+
+    def __init__(self, registry: "obs.MetricsRegistry", tracer,
+                 connection: "MptcpConnection"):
+        self.tracer = tracer
+        self.connection = connection
+        self.acks = registry.counter("mptcp.acks")
+        self.losses = registry.counter("mptcp.loss_events")
+        self.cwnd_hist = registry.histogram("mptcp.cwnd")
+        self._eps_fn = getattr(connection.controller, "epsilon", None)
+        if self._eps_fn is not None:
+            self.eps_hist = registry.histogram(
+                "dts.epsilon", obs.geometric_buckets(0.125, 8.0, 2 ** 0.5))
+            self.shift_freeze = registry.counter("dts.shift_freeze")
+            self.shift_boost = registry.counter("dts.shift_boost")
+        self._shift_state: Dict[int, str] = {}
+
+    def on_ack(self, sf: TcpSender) -> None:
+        """Record one cumulative-ACK cwnd update on subflow ``sf``."""
+        self.acks.inc()
+        self.cwnd_hist.observe(sf.cwnd)
+        if self._eps_fn is not None:
+            eps = self._eps_fn(sf)
+            self.eps_hist.observe(eps)
+            state = ("freeze" if eps < self.FREEZE_BELOW
+                     else "boost" if eps > self.BOOST_ABOVE else "steady")
+            if state != self._shift_state.get(sf.subflow_index):
+                self._shift_state[sf.subflow_index] = state
+                if state == "freeze":
+                    self.shift_freeze.inc()
+                elif state == "boost":
+                    self.shift_boost.inc()
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "mptcp.shift", subflow=sf.subflow_index, state=state,
+                        epsilon=round(eps, 4), cwnd=round(sf.cwnd, 3),
+                        sim_now=round(sf.sim.now, 6))
+        if self.tracer.enabled and self.acks.value % self.CWND_SAMPLE_EVERY == 0:
+            self.tracer.instant(
+                "mptcp.cwnd_update", subflow=sf.subflow_index,
+                cwnd=round(sf.cwnd, 3), rtt=round(sf.rtt, 6),
+                sim_now=round(sf.sim.now, 6))
+
+    def on_loss(self, sf: TcpSender, kind: str) -> None:
+        """Record a loss event (fast retransmit or timeout)."""
+        self.losses.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "mptcp.loss", subflow=sf.subflow_index, kind=kind,
+                cwnd=round(sf.cwnd, 3), sim_now=round(sf.sim.now, 6))
 
 
 class MptcpConnection:
@@ -97,6 +169,12 @@ class MptcpConnection:
         controller.attach(self.subflows)
         if self.scheduler is not None:
             self.scheduler.attach(self.subflows)
+        self.probe: Optional[ConnectionProbe] = None
+        session = obs.active_session()
+        if session is not None:
+            self.probe = ConnectionProbe(session.registry, session.tracer, self)
+            for sf in self.subflows:
+                sf.probe = self.probe
 
     # ------------------------------------------------------------------ api
 

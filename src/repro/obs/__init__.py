@@ -1,0 +1,155 @@
+"""`repro.obs` — unified metrics, span tracing, and run provenance.
+
+One observability layer for both engines and everything above them:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in a
+  :class:`MetricsRegistry`; the schema campaign telemetry and manifests
+  consume.
+* :mod:`repro.obs.tracing` — nested spans + instant events, exported as
+  JSONL or Chrome ``trace_event`` JSON (Perfetto-loadable), with an
+  allocation-free disabled path.
+* :mod:`repro.obs.manifest` — per-run provenance (spec hash, seed, git
+  SHA, toolchain versions, final metrics snapshot).
+* :mod:`repro.obs.report` — ``python -m repro obs report`` rendering.
+
+The glue is the **ambient session**: probe points deep in the engines
+(:class:`repro.net.events.Simulator`, the fluid integrator, MPTCP
+connections, energy meters) pick up the active session's registry and
+tracer at construction time, so a caller instruments a whole run without
+threading handles through every layer::
+
+    import repro.obs as obs
+
+    with obs.session(trace=True) as s:
+        ...build network, run experiment...
+    s.tracer.export_chrome("trace.json")
+    print(s.registry.snapshot())
+
+With no session active, engines fall back to a private registry (their
+compat counters keep working) and the shared :data:`NULL_TRACER`.
+Worker processes start with no session, so campaign runs get isolated
+per-run registries for free.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest, git_sha
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    geometric_buckets,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsSession",
+    "RunManifest",
+    "Tracer",
+    "active_session",
+    "annotate",
+    "current_tracer",
+    "end_session",
+    "geometric_buckets",
+    "git_sha",
+    "registry_or_new",
+    "session",
+    "start_session",
+]
+
+
+class ObsSession:
+    """One observed run: a registry, a tracer, and run annotations."""
+
+    def __init__(self, *, trace: bool = False, label: str = "",
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
+        self.label = label
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            self.tracer = Tracer() if trace else NULL_TRACER
+        self.annotations: Dict[str, Any] = {}
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach free-form provenance (seed, duration, ...) to the run."""
+        self.annotations.update(fields)
+
+    def manifest(self, *, label: Optional[str] = None,
+                 spec_hash: Optional[str] = None) -> RunManifest:
+        """A :class:`RunManifest` of this session's final state."""
+        return RunManifest.capture(
+            label=self.label if label is None else label,
+            spec_hash=spec_hash,
+            seed=self.annotations.get("seed"),
+            metrics=self.registry.snapshot(),
+            annotations=dict(self.annotations),
+        )
+
+
+_active: Optional[ObsSession] = None
+
+
+def start_session(**kwargs: Any) -> ObsSession:
+    """Install a new ambient session (error if one is already active)."""
+    global _active
+    if _active is not None:
+        raise RuntimeError("an obs session is already active")
+    _active = ObsSession(**kwargs)
+    return _active
+
+
+def end_session() -> Optional[ObsSession]:
+    """Deactivate and return the ambient session (None if none active)."""
+    global _active
+    s, _active = _active, None
+    return s
+
+
+@contextmanager
+def session(**kwargs: Any) -> Iterator[ObsSession]:
+    """``with obs.session(trace=True) as s:`` — scoped ambient session."""
+    s = start_session(**kwargs)
+    try:
+        yield s
+    finally:
+        end_session()
+
+
+def active_session() -> Optional[ObsSession]:
+    """The ambient session, or None."""
+    return _active
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The ambient session's tracer, or the shared null tracer."""
+    return _active.tracer if _active is not None else NULL_TRACER
+
+
+def registry_or_new() -> MetricsRegistry:
+    """The ambient registry, or a fresh private one.
+
+    Engines call this at construction: under a session all layers share
+    one registry; outside one, each engine gets an isolated registry
+    backing its compatibility counters.
+    """
+    return _active.registry if _active is not None else MetricsRegistry()
+
+
+def annotate(**fields: Any) -> None:
+    """Annotate the ambient session; silently a no-op without one, so
+    experiments can annotate unconditionally."""
+    if _active is not None:
+        _active.annotations.update(fields)

@@ -1,0 +1,230 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+This is the measurement substrate the paper's argument rests on — the
+reproduction's analogue of the RAPL counters and per-subflow time series
+of Section III — reduced to three instrument kinds cheap enough to stay
+on in production paths:
+
+* :class:`Counter` — a monotonically increasing total (events processed,
+  integration steps, joules).
+* :class:`Gauge` — a last-value sample (queue depth, convergence
+  residual).
+* :class:`Histogram` — fixed upper-bound buckets plus count/sum/min/max,
+  for distributions (congestion windows, power samples, DTS epsilon).
+
+A :class:`MetricsRegistry` owns instruments by name; ``counter()`` /
+``gauge()`` / ``histogram()`` are get-or-create, so independent layers
+(engine, MPTCP probes, energy meters) can share one registry without
+coordination — counters add up, gauges last-write-win.  ``snapshot()``
+returns one JSON-serializable dict, the schema shared by campaign
+telemetry, run manifests, and ``python -m repro obs report``.
+
+Hot-path discipline: instruments are plain ``__slots__`` objects whose
+update methods do one attribute addition (counters/gauges) or one bisect
+(histograms); engines keep local accumulators inside their inner loops
+and flush into counters at run() boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "geometric_buckets"]
+
+
+def geometric_buckets(lo: float, hi: float, factor: float = 2.0) -> Tuple[float, ...]:
+    """Ascending bucket upper bounds ``lo, lo*factor, ... >= hi``."""
+    if lo <= 0 or hi <= lo or factor <= 1.0:
+        raise ValueError(f"need 0 < lo < hi and factor > 1, "
+                         f"got lo={lo}, hi={hi}, factor={factor}")
+    bounds: List[float] = []
+    b = float(lo)
+    while b < hi:
+        bounds.append(b)
+        b *= factor
+    bounds.append(b)
+    return tuple(bounds)
+
+
+class Counter:
+    """Monotonic total. ``inc(n)`` accepts ints or floats (e.g. seconds)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        self.value += n
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-value instrument."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+
+#: Default histogram buckets: 1, 2, 4 ... 4096 (covers cwnds and most
+#: small-magnitude distributions; pass explicit buckets otherwise).
+DEFAULT_BUCKETS = geometric_buckets(1.0, 4096.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max running aggregates.
+
+    ``buckets`` are ascending upper bounds; one implicit overflow bucket
+    catches everything above the last bound. Bucket layout is fixed at
+    creation so snapshots from different processes merge trivially.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "minimum",
+                 "maximum")
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} buckets must be ascending "
+                             f"and non-empty, got {bounds}")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot_value(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+        if self.count:
+            out["min"] = self.minimum
+            out["max"] = self.maximum
+        return out
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create access and one-shot snapshots."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------- creation
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = factory()
+            self._instruments[name] = inst
+        elif inst.kind != kind:
+            raise TypeError(f"instrument {name!r} already registered as "
+                            f"{inst.kind}, requested {kind}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram called ``name``, created on first use.
+
+        ``buckets`` only applies at creation; later calls reuse the
+        existing layout.
+        """
+        return self._get_or_create(name, lambda: Histogram(name, buckets),
+                                   "histogram")
+
+    # -------------------------------------------------------------- reading
+
+    def get(self, name: str) -> Optional[Any]:
+        """The instrument called ``name``, or None."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        """Registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def instruments(self) -> Iterable[Any]:
+        """All instruments, in name order."""
+        return (self._instruments[n] for n in self.names())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as one JSON-serializable dict, keyed by name.
+
+        Counters and gauges appear as plain numbers, histograms as a
+        nested dict (count/sum/mean/min/max/buckets/counts).  This is
+        the one metrics schema shared by the campaign executor,
+        telemetry, and run manifests.
+        """
+        return {name: inst.snapshot_value()
+                for name, inst in sorted(self._instruments.items())}
+
+    def write_jsonl(self, path: "str | Path") -> int:
+        """Write one JSON object per instrument; returns the line count.
+
+        Each line carries ``name``, ``kind``, and either ``value``
+        (counter/gauge) or the histogram stats — the format
+        ``python -m repro obs report`` summarizes.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        n = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for inst in self.instruments():
+                record: Dict[str, Any] = {"name": inst.name, "kind": inst.kind}
+                value = inst.snapshot_value()
+                if isinstance(value, dict):
+                    record.update(value)
+                else:
+                    record["value"] = value
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                n += 1
+        return n

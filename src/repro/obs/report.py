@@ -1,0 +1,174 @@
+"""Summarize observability artifacts as terminal tables.
+
+``python -m repro obs report FILE...`` accepts any artifact this
+subsystem (or campaign telemetry) writes and renders a human summary:
+
+* Chrome ``trace_event`` JSON (``--trace`` output) — per-span-name
+  count/total/mean duration plus instant-event counts;
+* trace JSONL (``Tracer.export_jsonl``) — same summary;
+* metrics JSONL (``--metrics`` output / ``MetricsRegistry.write_jsonl``)
+  — instruments with values and histogram stats;
+* run manifests — provenance fields plus the scalar metrics;
+* campaign telemetry JSONL logs — event counts and wall-time stats.
+
+File kind is sniffed from content, never from the extension.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.manifest import MANIFEST_SCHEMA
+
+__all__ = ["describe_file", "render_file"]
+
+
+def _load(path: Path) -> Tuple[str, Any]:
+    """Sniff and parse one artifact; returns (kind, parsed)."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):
+        if "traceEvents" in doc:
+            return "chrome-trace", doc
+        if doc.get("schema") == MANIFEST_SCHEMA:
+            return "manifest", doc
+        raise ValueError(f"{path}: unrecognized JSON document")
+    # JSONL: one object per line.
+    records = []
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i + 1}: not JSON ({exc})") from exc
+    if not records or not all(isinstance(r, dict) for r in records):
+        raise ValueError(f"{path}: no JSON objects found")
+    first = records[0]
+    if "kind" in first and "name" in first:
+        return "metrics-jsonl", records
+    if "type" in first and "ts" in first:
+        return "trace-jsonl", records
+    if "event" in first:
+        return "telemetry-jsonl", records
+    raise ValueError(f"{path}: unrecognized JSONL records")
+
+
+def describe_file(path: "str | Path") -> Tuple[str, Any]:
+    """(kind, parsed content) for an artifact file."""
+    return _load(Path(path))
+
+
+# ------------------------------------------------------------------ renderers
+
+def _span_rows(spans: List[Dict[str, Any]],
+               instants: List[Dict[str, Any]]) -> str:
+    from repro.analysis.report import format_table
+
+    by_name: Dict[str, List[float]] = {}
+    for s in spans:
+        by_name.setdefault(s["name"], []).append(float(s.get("dur", 0.0)))
+    inst_by_name: Dict[str, int] = {}
+    for i in instants:
+        inst_by_name[i["name"]] = inst_by_name.get(i["name"], 0) + 1
+    rows: List[List[Any]] = []
+    for name in sorted(by_name):
+        durs = by_name[name]
+        rows.append(["span", name, len(durs), sum(durs) * 1e3,
+                     sum(durs) / len(durs) * 1e3, max(durs) * 1e3])
+    for name in sorted(inst_by_name):
+        rows.append(["instant", name, inst_by_name[name], "", "", ""])
+    return format_table(
+        ["kind", "name", "count", "total ms", "mean ms", "max ms"], rows)
+
+
+def _render_chrome(doc: Dict[str, Any]) -> str:
+    events = [e for e in doc.get("traceEvents", []) if e.get("ph") != "M"]
+    spans = [{"name": e["name"], "dur": e.get("dur", 0.0) / 1e6}
+             for e in events if e.get("ph") == "X"]
+    instants = [{"name": e["name"]} for e in events if e.get("ph") == "i"]
+    head = f"chrome trace: {len(spans)} spans, {len(instants)} instants"
+    return head + "\n" + _span_rows(spans, instants)
+
+
+def _render_trace_jsonl(records: List[Dict[str, Any]]) -> str:
+    spans = [r for r in records if r.get("type") == "span"]
+    instants = [r for r in records if r.get("type") == "instant"]
+    head = f"trace log: {len(spans)} spans, {len(instants)} instants"
+    return head + "\n" + _span_rows(spans, instants)
+
+
+def _render_metrics(records: List[Dict[str, Any]]) -> str:
+    from repro.analysis.report import format_table
+
+    rows: List[List[Any]] = []
+    for r in records:
+        if r["kind"] == "histogram":
+            rows.append([r["name"], r["kind"], r.get("count", 0),
+                         r.get("mean", 0.0), r.get("min", ""), r.get("max", "")])
+        else:
+            rows.append([r["name"], r["kind"], "", r.get("value", 0), "", ""])
+    head = f"metrics: {len(records)} instruments"
+    return head + "\n" + format_table(
+        ["name", "kind", "count", "value/mean", "min", "max"], rows)
+
+
+def _render_manifest(doc: Dict[str, Any]) -> str:
+    from repro.analysis.report import format_table
+
+    lines = [f"manifest: {doc.get('label') or '(unlabelled)'}"]
+    for key in ("spec_hash", "seed", "git_sha", "python_version",
+                "numpy_version", "platform", "created_unix"):
+        lines.append(f"  {key}: {doc.get(key)}")
+    if doc.get("annotations"):
+        for key in sorted(doc["annotations"]):
+            lines.append(f"  annotation {key}: {doc['annotations'][key]}")
+    metrics = doc.get("metrics", {})
+    rows: List[List[Any]] = []
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, dict):
+            rows.append([name, value.get("count", 0), value.get("mean", 0.0)])
+        else:
+            rows.append([name, "", value])
+    if rows:
+        lines.append(format_table(["metric", "count", "value/mean"], rows))
+    return "\n".join(lines)
+
+
+def _render_telemetry(records: List[Dict[str, Any]]) -> str:
+    from repro.analysis.report import format_table
+
+    counts: Dict[str, int] = {}
+    wall: List[float] = []
+    for r in records:
+        counts[r["event"]] = counts.get(r["event"], 0) + 1
+        if r["event"] == "run_completed" and "wall_s" in r:
+            wall.append(float(r["wall_s"]))
+    rows = [[name, counts[name]] for name in sorted(counts)]
+    out = [f"campaign telemetry: {len(records)} records",
+           format_table(["event", "count"], rows)]
+    if wall:
+        out.append(f"run wall seconds: n={len(wall)} "
+                   f"mean={sum(wall) / len(wall):.3f} max={max(wall):.3f}")
+    return "\n".join(out)
+
+
+_RENDERERS = {
+    "chrome-trace": _render_chrome,
+    "trace-jsonl": _render_trace_jsonl,
+    "metrics-jsonl": _render_metrics,
+    "manifest": _render_manifest,
+    "telemetry-jsonl": _render_telemetry,
+}
+
+
+def render_file(path: "str | Path") -> str:
+    """A printable summary of one artifact file."""
+    kind, parsed = describe_file(path)
+    return f"== {path} ({kind})\n" + _RENDERERS[kind](parsed)

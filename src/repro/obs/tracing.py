@@ -1,0 +1,236 @@
+"""Span tracer: nested spans + instant events, JSONL and Chrome exports.
+
+A :class:`Tracer` records two event shapes:
+
+* **spans** — ``with tracer.span("fluid.run", steps=1000): ...`` records
+  a named interval with wall-clock start/duration, nesting depth, and
+  free-form args;
+* **instants** — ``tracer.instant("mptcp.loss", subflow=1)`` records a
+  point event.
+
+Events export as JSONL (one object per line, for ``jq`` and
+``python -m repro obs report``) and as Chrome ``trace_event`` JSON
+(``{"traceEvents": [...]}``), loadable in ``chrome://tracing`` and
+https://ui.perfetto.dev.  Each event's track (Perfetto "thread") is the
+name's prefix before the first dot — ``sim.run`` and ``sim.dispatch``
+share the ``sim`` track — so one traced run reads as parallel timelines
+of the event engine, the fluid integrator, the MPTCP probes, and the
+energy meter.
+
+The disabled path matters more than the enabled one: probe points in
+per-event/per-ACK code run unconditionally, so :data:`NULL_TRACER`
+(shared singleton) returns one preallocated no-op span and allocates
+nothing.  Hot layers additionally guard arg construction with
+``if tracer.enabled:`` so a disabled tracer costs one attribute test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["NULL_TRACER", "NullTracer", "Tracer"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars (and anything else odd) to JSON-safe values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class _Span:
+    """Context manager recording one interval on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "t0", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self.t0 = 0.0
+        self.depth = 0
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self.depth = tracer._depth
+        tracer._depth += 1
+        self.t0 = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        end = tracer._clock()
+        tracer._depth -= 1
+        tracer._record({
+            "type": "span",
+            "name": self.name,
+            "ts": self.t0 - tracer._epoch,
+            "dur": end - self.t0,
+            "depth": self.depth,
+            "args": self.args,
+        })
+        return False
+
+
+class Tracer:
+    """Collects spans and instants in memory until exported.
+
+    Parameters
+    ----------
+    max_events:
+        Ceiling on retained events; extra events are dropped (counted in
+        :attr:`dropped`) so a runaway trace cannot exhaust memory.
+    clock:
+        Monotonic seconds source; injectable for tests.
+    """
+
+    enabled = True
+
+    def __init__(self, *, max_events: int = 1_000_000, clock=time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self.max_events = max_events
+        self.records: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self._depth = 0
+
+    # ------------------------------------------------------------ recording
+
+    def span(self, name: str, **args: Any) -> _Span:
+        """A context manager timing the ``with`` body as span ``name``."""
+        return _Span(self, name, args)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a point event."""
+        self._record({
+            "type": "instant",
+            "name": name,
+            "ts": self._clock() - self._epoch,
+            "depth": self._depth,
+            "args": args,
+        })
+
+    def _record(self, record: Dict[str, Any]) -> None:
+        if len(self.records) >= self.max_events:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------ exporting
+
+    @staticmethod
+    def _track(name: str) -> str:
+        return name.split(".", 1)[0]
+
+    def _clean_args(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        return {k: _jsonable(v) for k, v in args.items()}
+
+    def export_jsonl(self, path: "str | Path") -> int:
+        """One JSON object per event, in record order; returns line count."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            for r in self.records:
+                out = dict(r)
+                out["args"] = self._clean_args(r["args"])
+                out["ts"] = round(r["ts"], 9)
+                if "dur" in out:
+                    out["dur"] = round(out["dur"], 9)
+                fh.write(json.dumps(out, sort_keys=True) + "\n")
+        return len(self.records)
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The trace in Chrome ``trace_event`` form (JSON object format).
+
+        Spans become complete ("X") events, instants become thread-scoped
+        instant ("i") events; tracks get thread_name metadata so Perfetto
+        labels them.  Timestamps are microseconds, as the format requires.
+        """
+        pid = os.getpid()
+        tids: Dict[str, int] = {}
+        events: List[Dict[str, Any]] = []
+        for r in self.records:
+            track = self._track(r["name"])
+            tid = tids.setdefault(track, len(tids) + 1)
+            ev: Dict[str, Any] = {
+                "name": r["name"],
+                "cat": track,
+                "pid": pid,
+                "tid": tid,
+                "ts": round(r["ts"] * 1e6, 3),
+                "args": self._clean_args(r["args"]),
+            }
+            if r["type"] == "span":
+                ev["ph"] = "X"
+                ev["dur"] = round(r["dur"] * 1e6, 3)
+            else:
+                ev["ph"] = "i"
+                ev["s"] = "t"
+            events.append(ev)
+        meta = [
+            {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+             "args": {"name": track}}
+            for track, tid in sorted(tids.items(), key=lambda kv: kv[1])
+        ]
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path: "str | Path") -> int:
+        """Write :meth:`to_chrome` JSON; returns the event count."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh)
+        return len(self.records)
+
+
+class _NullSpan:
+    """Shared, allocation-free no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``span()`` returns one shared span object and ``instant()`` returns
+    immediately, so instrumentation left on in hot loops costs an
+    attribute check and a call — nothing is allocated or retained
+    (callers must avoid building kwargs on hot paths; guard with
+    ``if tracer.enabled:``).
+    """
+
+    enabled = False
+    records: tuple = ()
+    dropped = 0
+
+    def span(self, name: str, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, **args: Any) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Process-wide disabled tracer; the default everywhere tracing is off.
+NULL_TRACER = NullTracer()

@@ -40,6 +40,74 @@ def test_sampler_rejects_bad_interval():
         PeriodicSampler(Simulator(), 0.0, lambda now: None)
 
 
+def test_sampler_until_is_inclusive():
+    # A tick landing exactly on `until` must fire despite float steps.
+    sim = Simulator()
+    ticks = []
+    PeriodicSampler(sim, 0.1, ticks.append, until=0.5)
+    sim.run(until=5.0)
+    assert len(ticks) == 5
+    assert ticks[-1] == pytest.approx(0.5)
+
+
+def test_sampler_until_leaves_no_pending_event():
+    sim = Simulator()
+    sampler = PeriodicSampler(sim, 0.5, lambda now: None, until=1.4)
+    sim.run(until=5.0)
+    # After the last in-deadline tick nothing is left in the queue — the
+    # old implementation scheduled one ghost tick past the deadline.
+    assert sim.pending() == 0
+    assert not sampler.stopped  # until-expiry is not the same as stop()
+
+
+def test_sampler_until_shorter_than_interval_never_schedules():
+    sim = Simulator()
+    ticks = []
+    PeriodicSampler(sim, 1.0, ticks.append, until=0.25)
+    sim.run(until=5.0)
+    assert ticks == []
+    assert sim.pending() == 0
+
+
+def test_sampler_stop_cancels_pending_event():
+    sim = Simulator()
+    ticks = []
+    sampler = PeriodicSampler(sim, 0.5, ticks.append)
+    sim.run(until=1.0)
+    sampler.stop()
+    assert sampler.stopped
+    # The pending tick is cancelled immediately, not lazily skipped by
+    # the sampler at fire time.
+    assert all(h.cancelled for _, _, h in sim._heap)
+    sim.run(until=3.0)
+    assert len(ticks) == 2
+
+
+def test_sampler_stop_from_inside_callback():
+    sim = Simulator()
+    ticks = []
+    holder = {}
+
+    def cb(now):
+        ticks.append(now)
+        if len(ticks) == 3:
+            holder["sampler"].stop()
+
+    holder["sampler"] = PeriodicSampler(sim, 0.5, cb)
+    sim.run(until=10.0)
+    assert len(ticks) == 3
+    assert sim.pending() == 0
+
+
+def test_sampler_stop_is_idempotent():
+    sim = Simulator()
+    sampler = PeriodicSampler(sim, 0.5, lambda now: None)
+    sampler.stop()
+    sampler.stop()
+    sim.run(until=2.0)
+    assert sampler.stopped
+
+
 def _running_transfer():
     net = Network(seed=1)
     a, b = net.add_host("a"), net.add_host("b")

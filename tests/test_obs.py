@@ -1,0 +1,309 @@
+"""repro.obs tests: registry semantics, tracing, manifests, CLI wiring."""
+
+import json
+import tracemalloc
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NULL_TRACER,
+    RunManifest,
+    Tracer,
+    geometric_buckets,
+)
+
+
+# ----------------------------------------------------------------- registry
+
+def test_counter_and_gauge_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("c")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    g = reg.gauge("g")
+    g.set(3.5)
+    g.set(-1.0)
+    assert g.value == -1.0
+    assert len(reg) == 2
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        MetricsRegistry().counter("c").inc(-1)
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.histogram("h") is reg.histogram("h")
+
+
+def test_registry_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_geometric_buckets():
+    assert list(geometric_buckets(1.0, 8.0)) == [1.0, 2.0, 4.0, 8.0]
+    assert list(geometric_buckets(1.0, 100.0, 10.0)) == [1.0, 10.0, 100.0]
+
+
+def test_histogram_bucketing_and_stats():
+    h = Histogram("h", buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.0, 3.0, 100.0):
+        h.observe(v)
+    snap = h.snapshot_value()
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(104.5)
+    assert snap["min"] == 0.5 and snap["max"] == 100.0
+    # bounds are upper-inclusive; the 4th cell is the overflow bucket
+    assert snap["counts"] == [2, 0, 1, 1]
+    assert len(snap["counts"]) == len(snap["buckets"]) + 1
+
+
+def test_snapshot_is_json_serializable_and_sorted():
+    reg = MetricsRegistry()
+    reg.counter("b").inc()
+    reg.gauge("a").set(1)
+    reg.histogram("c").observe(2)
+    snap = reg.snapshot()
+    assert list(snap) == sorted(snap)
+    json.dumps(snap)
+
+
+def test_registry_write_jsonl_round_trip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("runs").inc(3)
+    reg.histogram("lat").observe(0.5)
+    path = tmp_path / "m.jsonl"
+    assert reg.write_jsonl(path) == 2
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    by_name = {r["name"]: r for r in records}
+    assert by_name["runs"]["kind"] == "counter"
+    assert by_name["runs"]["value"] == 3
+    assert by_name["lat"]["kind"] == "histogram"
+    assert by_name["lat"]["count"] == 1
+
+
+# ------------------------------------------------------------------ tracing
+
+def test_span_nesting_depths():
+    tr = Tracer()
+    with tr.span("outer"):
+        with tr.span("inner"):
+            tr.instant("tick", n=1)
+    names = [(r["name"], r["type"], r["depth"]) for r in tr.records]
+    # spans are recorded at exit: innermost first
+    assert ("tick", "instant", 2) in names
+    assert ("inner", "span", 1) in names
+    assert ("outer", "span", 0) in names
+    outer = next(r for r in tr.records if r["name"] == "outer")
+    inner = next(r for r in tr.records if r["name"] == "inner")
+    assert outer["dur"] >= inner["dur"] >= 0
+
+
+def test_span_records_args_and_survives_exceptions():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        with tr.span("job", attempt=2):
+            raise RuntimeError("boom")
+    (rec,) = tr.records
+    assert rec["name"] == "job" and rec["args"] == {"attempt": 2}
+
+
+def test_tracer_caps_events():
+    tr = Tracer(max_events=3)
+    for i in range(10):
+        tr.instant("e", i=i)
+    assert len(tr.records) == 3
+    assert tr.dropped == 7
+
+
+def test_chrome_export_parses_back(tmp_path):
+    tr = Tracer()
+    with tr.span("sim.run", until=1.0):
+        tr.instant("sim.dispatch", queue_depth=5)
+        with tr.span("sim.step"):
+            pass
+    path = tmp_path / "trace.json"
+    tr.export_chrome(path)
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"X", "i", "M"} <= phases
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {"sim.run", "sim.step"}
+    for e in complete:
+        assert e["dur"] >= 0 and e["ts"] >= 0
+    instant = next(e for e in events if e["ph"] == "i")
+    assert instant["s"] == "t"
+    assert instant["args"]["queue_depth"] == 5
+
+
+def test_jsonl_export(tmp_path):
+    tr = Tracer()
+    with tr.span("a"):
+        tr.instant("b")
+    path = tmp_path / "t.jsonl"
+    assert tr.export_jsonl(path) == 2
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert {r["type"] for r in records} == {"span", "instant"}
+
+
+def test_null_tracer_is_allocation_free():
+    # Every span is the same object and nothing is retained.
+    s1 = NULL_TRACER.span("x", a=1)
+    s2 = NULL_TRACER.span("y")
+    assert s1 is s2
+    with s1:
+        pass
+    assert NULL_TRACER.instant("z") is None
+    assert not NULL_TRACER.enabled
+
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    for i in range(1000):
+        with NULL_TRACER.span("hot", i=i):
+            NULL_TRACER.instant("tick", i=i)
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    grown = sum(s.size_diff for s in after.compare_to(before, "lineno")
+                if s.size_diff > 0)
+    assert grown < 16 * 1024  # no per-iteration retention
+
+
+# ----------------------------------------------------------------- sessions
+
+def test_session_is_ambient_and_scoped():
+    assert obs.active_session() is None
+    with obs.session(trace=True, label="t") as s:
+        assert obs.active_session() is s
+        assert obs.current_tracer() is s.tracer
+        assert s.tracer.enabled
+        with pytest.raises(RuntimeError):
+            obs.start_session()
+    assert obs.active_session() is None
+    assert obs.current_tracer() is NULL_TRACER
+
+
+def test_engines_share_session_registry():
+    from repro.net.events import Simulator
+
+    with obs.session() as s:
+        sim = Simulator(seed=1)
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+    assert sim.metrics is s.registry
+    assert s.registry.snapshot()["engine.events_processed"] == 1
+    assert sim.events_processed == 1  # compat property reads the registry
+
+    # Outside a session: a private registry per engine.
+    sim2 = Simulator(seed=1)
+    assert sim2.metrics is not s.registry
+
+
+def test_annotate_without_session_is_noop():
+    obs.annotate(seed=1)  # must not raise
+    with obs.session() as s:
+        obs.annotate(seed=7)
+    assert s.annotations["seed"] == 7
+
+
+# ---------------------------------------------------------------- manifests
+
+def test_manifest_round_trip(tmp_path):
+    m = RunManifest.capture(label="t", spec_hash="ab" * 32, seed=3,
+                            metrics={"engine.steps_taken": 40},
+                            annotations={"duration": 1.0})
+    path = tmp_path / "run.manifest.json"
+    m.write(path)
+    again = RunManifest.load(path)
+    assert again == m
+    assert again.schema == MANIFEST_SCHEMA
+    assert again.seed == 3
+    assert again.metrics["engine.steps_taken"] == 40
+
+
+def test_manifest_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "something/else"}))
+    with pytest.raises(ValueError):
+        RunManifest.load(path)
+
+
+def test_campaign_writes_manifest_next_to_cache_entry(tmp_path):
+    from repro.campaign import CampaignExecutor, ResultCache, RunSpec
+
+    cache = ResultCache(tmp_path)
+    spec = RunSpec(topology="bcube", duration=0.4, dt=0.01, seed=1)
+    (outcome,) = CampaignExecutor(jobs=1, cache=cache).run([spec])
+    assert outcome.ok
+    assert "obs" in outcome.payload
+    assert outcome.metrics["steps_taken"] == int(
+        outcome.payload["obs"]["engine.steps_taken"])
+    entry = cache.path_for(spec)
+    manifest = RunManifest.load(entry.with_name(entry.stem + ".manifest.json"))
+    assert manifest.spec_hash == spec.content_hash()
+    assert manifest.seed == 1
+    assert cache.size() == 1  # the manifest is not a cache entry
+
+
+# ---------------------------------------------------------------------- CLI
+
+def test_fig08_trace_cli_regression(tmp_path, capsys, monkeypatch):
+    """`repro fig08 --trace --metrics` produces loadable artifacts."""
+    from repro import cli
+    from repro.experiments import fig08_trace
+
+    real_run = fig08_trace.run
+    monkeypatch.setattr(fig08_trace, "run",
+                        lambda **kw: real_run(duration=3.0, seed=3,
+                                              bin_width=1.0))
+    trace = tmp_path / "fig08.trace.json"
+    metrics = tmp_path / "fig08.metrics.jsonl"
+    rc = cli.main(["fig08", "--trace", str(trace), "--metrics", str(metrics)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fig08 done" in out
+
+    doc = json.loads(trace.read_text())
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "figure.fig08" in names
+    assert "sim.run" in names
+    assert "energy.sample" in names
+
+    lines = [json.loads(line) for line in metrics.read_text().splitlines()]
+    by_name = {r["name"]: r for r in lines}
+    assert by_name["engine.events_processed"]["value"] > 0
+    assert by_name["mptcp.acks"]["value"] > 0
+    assert "dts.epsilon" in by_name  # the DTS leg records Eq. (5) epsilons
+
+    manifest = RunManifest.load(str(trace) + ".manifest.json")
+    assert manifest.annotations["seed"] == 3   # fig08 annotates its params
+
+    rc = cli.main(["obs", "report", str(trace), str(metrics),
+                   str(trace) + ".manifest.json"])
+    assert rc == 0
+    report = capsys.readouterr().out
+    assert "chrome-trace" in report
+    assert "metrics-jsonl" in report
+    assert "manifest" in report
+
+
+def test_obs_report_rejects_garbage(tmp_path, capsys):
+    from repro import cli
+
+    bad = tmp_path / "bad.bin"
+    bad.write_text("not json at all")
+    assert cli.main(["obs", "report", str(bad)]) == 2
