@@ -3,36 +3,48 @@
 Not a paper figure — tracks the campaign subsystem's own costs: the
 executor's dispatch overhead on a real (small) sweep, and the cache's
 replay speed, which is what makes repeated figure regeneration cheap.
+The measurement bodies live in :mod:`repro.bench.cases` (registered as
+``campaign.*`` bench cases); this module wraps them for pytest-benchmark
+runs.
+
+Direct invocation emits machine-readable results::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py  # BENCH_campaign.json
 """
 
 import json
 
 from conftest import run_once
 
-from repro.campaign import CampaignExecutor, ResultCache, RunSpec
-
-
-def _specs():
-    return [RunSpec(topology="bcube", n_subflows=nsub, seed=seed,
-                    duration=1.0, dt=0.01)
-            for nsub in (1, 2) for seed in (1, 2)]
+from repro.bench.cases import campaign_cached_replay, campaign_cold_sweep
 
 
 def test_campaign_cold_sweep(benchmark, tmp_path):
-    cache = ResultCache(tmp_path / "cache")
-    executor = CampaignExecutor(jobs=1, cache=cache)
-    outcomes = run_once(benchmark, executor.run, _specs())
+    outcomes = run_once(benchmark, campaign_cold_sweep, tmp_path / "cache")
     assert all(o.ok for o in outcomes)
-    assert cache.stats.writes == len(outcomes)
 
 
 def test_campaign_cached_replay(benchmark, tmp_path):
-    cache = ResultCache(tmp_path / "cache")
-    executor = CampaignExecutor(jobs=1, cache=cache)
-    cold = executor.run(_specs())
+    cold = campaign_cold_sweep(tmp_path / "cache")
 
-    replayed = benchmark(executor.run, _specs())
+    replayed = benchmark(campaign_cached_replay, tmp_path / "cache")
     assert all(o.cached for o in replayed)
     for a, b in zip(cold, replayed):
         assert json.dumps(a.metrics, sort_keys=True) == \
             json.dumps(b.metrics, sort_keys=True)
+
+
+def main(argv=None) -> int:
+    """Run the registered ``campaign`` suite; write BENCH_campaign.json."""
+    import sys
+
+    from repro.cli import main as cli_main
+
+    if argv is None:
+        argv = sys.argv[1:]
+
+    return cli_main(["bench", "run", "--suite", "campaign", *argv])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

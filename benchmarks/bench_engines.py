@@ -1,42 +1,21 @@
 """Engine micro-benchmarks: packet events/second and fluid steps/second.
 
 Not a paper figure — these track the simulators' own performance so
-regressions in the substrate are visible.
+regressions in the substrate are visible.  The measurement bodies live
+in :mod:`repro.bench.cases` (registered there as ``engine.*`` bench
+cases); this module wraps the same bodies for interactive
+pytest-benchmark runs, so both paths measure identical code.
+
+Direct invocation emits machine-readable results::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py   # BENCH_engine.json
 """
 
-import numpy as np
-
-from repro.fluidsim import FluidNetwork, FluidSimulation
-from repro.net import Network
-from repro.net.queues import DropTailQueue
-from repro.topology import FatTree
-from repro.units import mb, mbps, ms
-from repro.workloads.permutation import random_permutation_pairs
-
-
-def packet_transfer():
-    net = Network(seed=1)
-    a, b = net.add_host("a"), net.add_host("b")
-    s = net.add_switch("s")
-    net.link(a, s, rate_bps=mbps(100), delay=ms(5),
-             queue_factory=lambda: DropTailQueue(limit_packets=100))
-    net.link(s, b, rate_bps=mbps(100), delay=ms(5),
-             queue_factory=lambda: DropTailQueue(limit_packets=100))
-    conn = net.tcp_connection(net.route([a, s, b]), total_bytes=mb(4))
-    conn.start()
-    net.run_until_complete([conn], timeout=60)
-    return net.sim.events_processed
-
-
-def fluid_fattree_step_batch():
-    topo = FatTree(8, link_delay=ms(1))
-    net = FluidNetwork(topo, path_seed=1)
-    for src, dst in random_permutation_pairs(topo.hosts, np.random.default_rng(1)):
-        net.add_connection(src, dst, "lia", n_subflows=4)
-    net.finalize()
-    sim = FluidSimulation(net, dt=0.004, seed=1)
-    sim.run(4.0)  # 1000 steps over ~500 subflows and 768 links
-    return net.n_subflows
+from repro.bench.cases import (
+    fluid_fattree_step_batch,
+    packet_retransmit,
+    packet_transfer,
+)
 
 
 def test_packet_engine_throughput(benchmark):
@@ -44,7 +23,28 @@ def test_packet_engine_throughput(benchmark):
     assert events > 10_000
 
 
+def test_packet_retransmit_throughput(benchmark):
+    events = benchmark(packet_retransmit)
+    assert events > 10_000
+
+
 def test_fluid_engine_throughput(benchmark):
     subflows = benchmark(fluid_fattree_step_batch)
     # Same-pod pairs have fewer than 4 ECMP paths, so slightly under 4x128.
     assert 450 <= subflows <= 512
+
+
+def main(argv=None) -> int:
+    """Run the registered ``engine`` suite and write BENCH_engine.json."""
+    import sys
+
+    from repro.cli import main as cli_main
+
+    if argv is None:
+        argv = sys.argv[1:]
+
+    return cli_main(["bench", "run", "--suite", "engine", *argv])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -8,23 +8,29 @@ Two angles:
   null tracer (the default) and with tracing enabled;
 * microbenchmarks of the disabled-path primitives themselves, asserting
   the per-call cost stays sub-microsecond.
+
+The measurement bodies live in :mod:`repro.bench.cases` (registered as
+``obs.*`` bench cases); this module wraps them for pytest-benchmark
+runs.  Direct invocation emits machine-readable results::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py  # BENCH_obs.json
 """
 
-import time
-
 import repro.obs as obs
-from bench_engines import fluid_fattree_step_batch, packet_transfer
 from conftest import run_once
+
+from repro.bench.cases import (
+    counter_inc_cost,
+    fluid_fattree_step_batch,
+    histogram_observe_cost,
+    null_span_cost,
+    traced_packet_transfer,
+)
 
 
 def test_packet_engine_with_tracing(benchmark):
     """Packet engine under a tracing session still clears the floor."""
-
-    def traced():
-        with obs.session(trace=True):
-            return packet_transfer()
-
-    events = run_once(benchmark, traced)
+    events = run_once(benchmark, traced_packet_transfer)
     assert events > 10_000
 
 
@@ -39,31 +45,32 @@ def test_fluid_engine_with_tracing(benchmark):
 
 def test_null_span_cost(benchmark):
     """Disabled spans+instants: well under a microsecond per pair."""
-    tracer = obs.NULL_TRACER
-    n = 100_000
-
-    def loop():
-        t0 = time.perf_counter()
-        for i in range(n):
-            with tracer.span("hot", i=i):
-                tracer.instant("tick", i=i)
-        return (time.perf_counter() - t0) / n
-
-    per_call = run_once(benchmark, loop)
+    per_call = run_once(benchmark, null_span_cost)
     assert per_call < 5e-6
 
 
 def test_counter_inc_cost(benchmark):
-    reg = obs.MetricsRegistry()
-    counter = reg.counter("bench")
-    n = 1_000_000
-
-    def loop():
-        t0 = time.perf_counter()
-        for _ in range(n):
-            counter.inc()
-        return (time.perf_counter() - t0) / n
-
-    per_call = run_once(benchmark, loop)
+    per_call, counter = run_once(benchmark, counter_inc_cost)
     assert per_call < 1e-6
-    assert counter.value >= n
+    assert counter.value >= 1_000_000
+
+
+def test_histogram_observe_cost(benchmark):
+    per_call = run_once(benchmark, histogram_observe_cost)
+    assert per_call < 5e-6
+
+
+def main(argv=None) -> int:
+    """Run the registered ``obs`` suite and write BENCH_obs.json."""
+    import sys
+
+    from repro.cli import main as cli_main
+
+    if argv is None:
+        argv = sys.argv[1:]
+
+    return cli_main(["bench", "run", "--suite", "obs", *argv])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

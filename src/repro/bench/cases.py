@@ -1,0 +1,266 @@
+"""Built-in benchmark cases: engine, campaign, and obs hot paths.
+
+The measurement **bodies** here are the canonical ones — the
+``benchmarks/bench_engines.py`` / ``bench_campaign.py`` /
+``bench_obs_overhead.py`` pytest-benchmark wrappers import and reuse
+them, so interactive pytest runs and ``python -m repro bench run``
+measure exactly the same code.
+
+Each registered case asserts a coarse sanity bound on its result (the
+same bounds the pytest wrappers use), so a silently broken workload
+cannot masquerade as a speedup.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+import repro.obs as obs
+from repro.bench.runner import BenchContext, register
+from repro.obs.tracing import MONOTONIC_CLOCK
+
+__all__ = [
+    "campaign_cached_replay",
+    "campaign_cold_sweep",
+    "campaign_specs",
+    "counter_inc_cost",
+    "fluid_fattree_step_batch",
+    "histogram_observe_cost",
+    "null_span_cost",
+    "packet_retransmit",
+    "packet_transfer",
+    "spec_hash_cost",
+    "traced_packet_transfer",
+]
+
+
+# ------------------------------------------------------------------- engines
+
+def packet_transfer():
+    """One 4 MB TCP transfer across a 2-hop packet network; returns the
+    events processed."""
+    from repro.net import Network
+    from repro.net.queues import DropTailQueue
+    from repro.units import mb, mbps, ms
+
+    net = Network(seed=1)
+    a, b = net.add_host("a"), net.add_host("b")
+    s = net.add_switch("s")
+    net.link(a, s, rate_bps=mbps(100), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=100))
+    net.link(s, b, rate_bps=mbps(100), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=100))
+    conn = net.tcp_connection(net.route([a, s, b]), total_bytes=mb(4))
+    conn.start()
+    net.run_until_complete([conn], timeout=60)
+    return net.sim.events_processed
+
+
+def packet_retransmit():
+    """The same transfer through a 10-packet bottleneck queue, forcing
+    drops so loss recovery / retransmission paths dominate."""
+    from repro.net import Network
+    from repro.net.queues import DropTailQueue
+    from repro.units import mb, mbps, ms
+
+    net = Network(seed=1)
+    a, b = net.add_host("a"), net.add_host("b")
+    s = net.add_switch("s")
+    net.link(a, s, rate_bps=mbps(100), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=100))
+    net.link(s, b, rate_bps=mbps(50), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=10))
+    conn = net.tcp_connection(net.route([a, s, b]), total_bytes=mb(2))
+    conn.start()
+    net.run_until_complete([conn], timeout=120)
+    return net.sim.events_processed
+
+
+def fluid_fattree_step_batch():
+    """1000 fluid-model steps over a k=8 fat-tree permutation workload
+    (~500 subflows, 768 links); returns the subflow count."""
+    from repro.fluidsim import FluidNetwork, FluidSimulation
+    from repro.topology import FatTree
+    from repro.units import ms
+    from repro.workloads.permutation import random_permutation_pairs
+
+    topo = FatTree(8, link_delay=ms(1))
+    net = FluidNetwork(topo, path_seed=1)
+    for src, dst in random_permutation_pairs(topo.hosts,
+                                             np.random.default_rng(1)):
+        net.add_connection(src, dst, "lia", n_subflows=4)
+    net.finalize()
+    sim = FluidSimulation(net, dt=0.004, seed=1)
+    sim.run(4.0)
+    return net.n_subflows
+
+
+@register("engine.packet_transfer", suites=("tier1", "engine"),
+          description="4 MB TCP transfer on the packet event simulator")
+def _engine_packet_transfer(ctx: BenchContext):
+    assert packet_transfer() > 10_000
+
+
+@register("engine.packet_retransmit", suites=("tier1", "engine"),
+          description="lossy-bottleneck transfer exercising retransmission")
+def _engine_packet_retransmit(ctx: BenchContext):
+    assert packet_retransmit() > 10_000
+
+
+@register("engine.fluid_fattree", suites=("tier1", "engine"),
+          description="1000 fluid steps over a k=8 fat-tree (~500 subflows)")
+def _engine_fluid_fattree(ctx: BenchContext):
+    # Same-pod pairs have fewer than 4 ECMP paths, so slightly under 4x128.
+    assert 450 <= fluid_fattree_step_batch() <= 512
+
+
+# ------------------------------------------------------------------ campaign
+
+def campaign_specs():
+    """The small 2x2 (subflows x seeds) sweep the campaign cases run."""
+    from repro.campaign import RunSpec
+
+    return [RunSpec(topology="bcube", n_subflows=nsub, seed=seed,
+                    duration=1.0, dt=0.01)
+            for nsub in (1, 2) for seed in (1, 2)]
+
+
+def campaign_cold_sweep(cache_dir):
+    """Run the sweep against an empty cache; returns the outcomes."""
+    from repro.campaign import CampaignExecutor, ResultCache
+
+    cache = ResultCache(cache_dir)
+    executor = CampaignExecutor(jobs=1, cache=cache)
+    outcomes = executor.run(campaign_specs())
+    assert all(o.ok for o in outcomes)
+    assert cache.stats.writes == len(outcomes)
+    return outcomes
+
+
+def campaign_cached_replay(cache_dir):
+    """Re-run the sweep against a warmed cache; returns the outcomes.
+
+    The caller must have warmed ``cache_dir`` (see
+    :func:`campaign_cold_sweep`) — every run must replay from cache.
+    """
+    from repro.campaign import CampaignExecutor, ResultCache
+
+    cache = ResultCache(cache_dir)
+    executor = CampaignExecutor(jobs=1, cache=cache)
+    outcomes = executor.run(campaign_specs())
+    assert all(o.cached for o in outcomes)
+    return outcomes
+
+
+def spec_hash_cost(n: int = 2000) -> float:
+    """Per-spec content-hash cost in seconds over ``n`` RunSpecs."""
+    from repro.campaign import RunSpec
+
+    specs = [RunSpec(topology="bcube", n_subflows=1 + (i % 8), seed=i,
+                     duration=1.0, dt=0.01) for i in range(n)]
+    t0 = MONOTONIC_CLOCK()
+    for spec in specs:
+        spec.content_hash()
+    return (MONOTONIC_CLOCK() - t0) / n
+
+
+@register("campaign.cold_sweep", suites=("tier1", "campaign"),
+          description="2x2 bcube sweep, empty cache (executor dispatch cost)")
+def _campaign_cold(ctx: BenchContext):
+    campaign_cold_sweep(ctx.tmp_path / "cache")
+
+
+@register("campaign.cached_replay", suites=("tier1", "campaign"),
+          description="2x2 bcube sweep, 100% cache hits (replay cost)",
+          setup=lambda ctx: campaign_cold_sweep(ctx.tmp_path / "cache"))
+def _campaign_replay(ctx: BenchContext):
+    replayed = campaign_cached_replay(ctx.tmp_path / "cache")
+    # Replay must be byte-stable, not merely "ok".
+    assert json.dumps([o.metrics for o in replayed], sort_keys=True)
+
+
+@register("campaign.spec_hash", suites=("tier1", "campaign"),
+          description="RunSpec content-hash throughput (cache-key cost)")
+def _campaign_spec_hash(ctx: BenchContext):
+    per_spec = spec_hash_cost()
+    assert per_spec < 1e-3
+    _record_per_call(per_spec)
+
+
+# ----------------------------------------------------------------------- obs
+
+def traced_packet_transfer():
+    """The packet transfer under a tracing obs session (overhead floor)."""
+    with obs.session(trace=True):
+        return packet_transfer()
+
+
+def null_span_cost(n: int = 100_000) -> float:
+    """Per-iteration cost of a disabled span + instant pair."""
+    tracer = obs.NULL_TRACER
+    t0 = MONOTONIC_CLOCK()
+    for i in range(n):
+        with tracer.span("hot", i=i):
+            tracer.instant("tick", i=i)
+    return (MONOTONIC_CLOCK() - t0) / n
+
+
+def counter_inc_cost(n: int = 1_000_000):
+    """(per-inc seconds, the counter) for ``n`` bare increments."""
+    reg = obs.MetricsRegistry()
+    counter = reg.counter("bench")
+    t0 = MONOTONIC_CLOCK()
+    for _ in range(n):
+        counter.inc()
+    return (MONOTONIC_CLOCK() - t0) / n, counter
+
+
+def histogram_observe_cost(n: int = 200_000) -> float:
+    """Per-observe cost of a default-bucket histogram."""
+    reg = obs.MetricsRegistry()
+    hist = reg.histogram("bench")
+    t0 = MONOTONIC_CLOCK()
+    for i in range(n):
+        hist.observe(float(i & 1023))
+    return (MONOTONIC_CLOCK() - t0) / n
+
+
+def _record_per_call(per_call: float) -> None:
+    """Expose a microbench's per-call cost in the case metrics snapshot."""
+    session = obs.active_session()
+    if session is not None:
+        session.registry.gauge("bench.per_call_s").set(per_call)
+
+
+@register("obs.packet_engine_traced", suites=("tier1", "obs"),
+          description="packet transfer with tracing enabled (session cost)",
+          manages_session=True)
+def _obs_traced_packet(ctx: BenchContext):
+    assert traced_packet_transfer() > 10_000
+
+
+@register("obs.null_span", suites=("tier1", "obs"),
+          description="disabled span+instant pair (hot-path no-op floor)")
+def _obs_null_span(ctx: BenchContext):
+    per_call = null_span_cost()
+    assert per_call < 5e-6
+    _record_per_call(per_call)
+
+
+@register("obs.counter_inc", suites=("tier1", "obs"),
+          description="bare Counter.inc() (engine accumulator flush cost)")
+def _obs_counter_inc(ctx: BenchContext):
+    per_call, counter = counter_inc_cost()
+    assert per_call < 1e-6
+    assert counter.value >= 1_000_000
+    _record_per_call(per_call)
+
+
+@register("obs.histogram_observe", suites=("tier1", "obs"),
+          description="Histogram.observe() with default buckets")
+def _obs_histogram_observe(ctx: BenchContext):
+    per_call = histogram_observe_cost()
+    assert per_call < 5e-6
+    _record_per_call(per_call)

@@ -1,0 +1,227 @@
+"""Profiling layer: cProfile capture and a sampling stack profiler.
+
+Two complementary views of where a benchmark case spends its time:
+
+* :func:`capture_cprofile` — exact call counts and per-function
+  self/cumulative time via the standard tracer.  Precise but intrusive
+  (every call is intercepted), so it runs in a *separate, untimed* pass
+  and never touches the wall-time samples.
+* :class:`SamplingProfiler` — a background thread snapshots the target
+  thread's stack via ``sys._current_frames()`` at a fixed interval.
+  Overhead is a few stack walks per second regardless of call volume,
+  and the aggregated stacks export as **collapsed-stack** lines
+  (``frame;frame;frame count``) that flamegraph.pl / speedscope /
+  inferno consume directly.
+
+Both report "top hot frames" in one shared shape (function id, self and
+inclusive weight) so ``BENCH_*.json`` can embed either.  The sampler
+timestamps with :data:`repro.obs.tracing.MONOTONIC_CLOCK`, the same
+clock the span tracer uses, so sample times line up with span traces
+from the same run.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.tracing import MONOTONIC_CLOCK
+
+__all__ = ["SamplingProfiler", "capture_cprofile", "frame_id",
+           "parse_collapsed"]
+
+
+def frame_id(filename: str, name: str) -> str:
+    """A compact ``file.py:function`` frame label.
+
+    Collapsed-stack syntax reserves ``;`` (separator) and the final
+    space (count); both are scrubbed so any tool can parse the output.
+    """
+    label = f"{Path(filename).name}:{name}"
+    return label.replace(";", ",").replace(" ", "_")
+
+
+# ---------------------------------------------------------------- cProfile
+
+def capture_cprofile(fn: Callable[[], Any], *, top_n: int = 10,
+                     ) -> Tuple[Any, List[Dict[str, Any]]]:
+    """Run ``fn`` under cProfile; returns (fn's result, top-N frames).
+
+    Frames are ranked by self time (``tottime``) — the flamegraph
+    question "which function itself burns the cycles" — and carry call
+    counts and cumulative time for context.
+    """
+    prof = cProfile.Profile()
+    result = prof.runcall(fn)
+    stats = pstats.Stats(prof)
+    rows = []
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in \
+            stats.stats.items():  # type: ignore[attr-defined]
+        rows.append({
+            "frame": frame_id(filename, name),
+            "line": line,
+            "ncalls": nc,
+            "self_s": tt,
+            "cumulative_s": ct,
+        })
+    rows.sort(key=lambda r: r["self_s"], reverse=True)
+    return result, rows[:top_n]
+
+
+# ---------------------------------------------------------------- sampling
+
+class SamplingProfiler:
+    """Low-overhead wall-clock stack sampler for one thread.
+
+    Usage::
+
+        prof = SamplingProfiler(interval=0.005)
+        with prof:
+            hot_function()
+        prof.write_collapsed("out.collapsed.txt")
+        prof.top_frames(10)
+
+    The sampler thread reads the *target* thread's frame stack (the
+    thread that called :meth:`start`) through ``sys._current_frames()``.
+    The walk follows ``f_back`` references, which keep their frame
+    objects alive even if the target pops them concurrently, so the
+    worst case is one slightly stale stack — never a crash.  Cost to the
+    profiled thread is one GIL handoff per ``interval``.
+    """
+
+    def __init__(self, *, interval: float = 0.005, clock=MONOTONIC_CLOCK):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self._clock = clock
+        self._stacks: Dict[Tuple[str, ...], int] = {}
+        self.samples = 0
+        #: Wall seconds the sampler was running, for rate reporting.
+        self.elapsed_s = 0.0
+        self._target_ident: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._t0 = 0.0
+        self._saved_switch: Optional[float] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling the calling thread."""
+        if self._thread is not None:
+            raise RuntimeError("sampler already running")
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        # The default 5 ms GIL switch interval would quantize sampling;
+        # drop it below our interval while the sampler runs.
+        self._saved_switch = sys.getswitchinterval()
+        sys.setswitchinterval(min(self._saved_switch,
+                                  max(self.interval / 4.0, 0.0002)))
+        self._t0 = self._clock()
+        self._thread = threading.Thread(target=self._sample_loop,
+                                        name="repro-bench-sampler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+        self._thread = None
+        self.elapsed_s += self._clock() - self._t0
+        if self._saved_switch is not None:
+            sys.setswitchinterval(self._saved_switch)
+            self._saved_switch = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def profile(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` under the sampler; returns its result."""
+        with self:
+            return fn()
+
+    def _sample_loop(self) -> None:
+        target = self._target_ident
+        stop = self._stop
+        while not stop.is_set():
+            frame = sys._current_frames().get(target)
+            if frame is not None:
+                stack: List[str] = []
+                while frame is not None:
+                    code = frame.f_code
+                    stack.append(frame_id(code.co_filename, code.co_name))
+                    frame = frame.f_back
+                stack.reverse()  # root-first, as collapsed format expects
+                key = tuple(stack)
+                self._stacks[key] = self._stacks.get(key, 0) + 1
+                self.samples += 1
+            stop.wait(self.interval)
+
+    # ------------------------------------------------------------ reporting
+
+    def collapsed(self) -> List[str]:
+        """Collapsed-stack lines, ``frame;frame;frame count``, sorted."""
+        return [f"{';'.join(stack)} {count}"
+                for stack, count in sorted(self._stacks.items())]
+
+    def write_collapsed(self, path: "str | Path") -> Path:
+        """Write the collapsed stacks (flamegraph.pl input); returns path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(self.collapsed()) + "\n", encoding="utf-8")
+        return path
+
+    def top_frames(self, n: int = 10) -> List[Dict[str, Any]]:
+        """Hottest frames by self samples (leaf position), with inclusive
+        sample counts — the same shape :func:`capture_cprofile` reports,
+        weights in samples instead of seconds."""
+        self_counts: Dict[str, int] = {}
+        inclusive: Dict[str, int] = {}
+        for stack, count in self._stacks.items():
+            self_counts[stack[-1]] = self_counts.get(stack[-1], 0) + count
+            for frame in set(stack):
+                inclusive[frame] = inclusive.get(frame, 0) + count
+        total = self.samples or 1
+        rows = [{
+            "frame": frame,
+            "self_samples": count,
+            "inclusive_samples": inclusive[frame],
+            "self_fraction": count / total,
+        } for frame, count in self_counts.items()]
+        rows.sort(key=lambda r: r["self_samples"], reverse=True)
+        return rows[:n]
+
+
+def parse_collapsed(text: str) -> List[Tuple[List[str], int]]:
+    """Parse collapsed-stack text back to (frames, count) pairs.
+
+    The inverse of :meth:`SamplingProfiler.collapsed`; used by tests to
+    assert the emitted file is flamegraph-consumable, and handy for
+    re-aggregating stacks across runs.  Raises ValueError on any
+    malformed line.
+    """
+    out: List[Tuple[List[str], int]] = []
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        stack_part, sep, count_part = line.rpartition(" ")
+        if not sep or not stack_part or not count_part.isdigit():
+            raise ValueError(f"line {i + 1}: not collapsed-stack format: "
+                             f"{line!r}")
+        frames = stack_part.split(";")
+        if any(not f for f in frames):
+            raise ValueError(f"line {i + 1}: empty frame in {line!r}")
+        out.append((frames, int(count_part)))
+    return out

@@ -16,6 +16,12 @@ Observability (docs/OBSERVABILITY.md):
 
     python -m repro fig08 --trace fig08.trace.json --metrics fig08.metrics.jsonl
     python -m repro obs report fig08.trace.json fig08.metrics.jsonl
+
+Benchmarks + regression gate (docs/BENCHMARKS.md):
+
+    python -m repro bench run --suite tier1 --repeats 3
+    python -m repro bench compare BENCH_tier1.json baselines/BENCH_tier1.json
+    python -m repro bench profile --case engine.packet_transfer
 """
 
 from __future__ import annotations
@@ -361,6 +367,144 @@ def _run_observed(targets: List[str], runners: Dict[str, Callable[[], None]],
         print(f"manifest: {manifest}")
 
 
+# ---------------------------------------------------------------------- bench
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run benchmark suites, gate regressions against a "
+                    "baseline, and profile hot cases (docs/BENCHMARKS.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_selection(p, default_repeats):
+        p.add_argument("--suite", default="tier1", metavar="NAME",
+                       help="case suite to run (default: tier1)")
+        p.add_argument("--case", action="append", default=None,
+                       metavar="SUBSTR", dest="cases",
+                       help="only cases whose name contains SUBSTR "
+                            "(repeatable)")
+        p.add_argument("--repeats", type=_positive_int,
+                       default=default_repeats, metavar="N",
+                       help=f"timed repeats per case "
+                            f"(default: {default_repeats})")
+        p.add_argument("--warmup", type=int, default=1, metavar="N",
+                       help="untimed warmup iterations (default: 1)")
+        p.add_argument("--seed", type=int, default=1234,
+                       help="pinned RNG seed (default: 1234)")
+        p.add_argument("--out", default=None, metavar="FILE",
+                       help="result JSON path "
+                            "(default: BENCH_<suite>.json)")
+
+    run_p = sub.add_parser("run", help="run a suite, write BENCH_<suite>.json")
+    add_selection(run_p, default_repeats=3)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="run a suite with cProfile + sampled stacks attached")
+    add_selection(prof_p, default_repeats=1)
+    prof_p.add_argument("--profile-dir", default=None, metavar="DIR",
+                        help="collapsed-stack output directory "
+                             "(default: bench-profiles-<suite>)")
+    prof_p.add_argument("--interval", type=float, default=0.002, metavar="S",
+                        help="sampling interval in seconds (default: 0.002)")
+
+    cmp_p = sub.add_parser(
+        "compare", help="gate a result file against a baseline")
+    cmp_p.add_argument("current", help="BENCH_*.json from the run under test")
+    cmp_p.add_argument("baseline", help="committed baseline BENCH_*.json")
+    cmp_p.add_argument("--tolerance", type=float, default=0.10, metavar="T",
+                       help="relative slowdown budget (default: 0.10)")
+    cmp_p.add_argument("--mad-k", type=float, default=3.0, metavar="K",
+                       help="baseline-MAD multiples added to the "
+                            "threshold (default: 3)")
+    cmp_p.add_argument("--allow-missing", action="store_true",
+                       help="do not fail when a baseline case is absent "
+                            "from the current run")
+
+    list_p = sub.add_parser("list", help="list registered cases and suites")
+    list_p.add_argument("--suite", default=None, metavar="NAME",
+                        help="restrict to one suite")
+    return parser
+
+
+def _bench_run(args, profile: bool) -> int:
+    from repro.analysis.report import format_table
+    from repro.bench import results as bench_results
+    from repro.bench import run_suite
+
+    kwargs = {}
+    if profile:
+        kwargs.update(profile=True,
+                      profile_dir=args.profile_dir,
+                      profile_interval=args.interval)
+    try:
+        doc = run_suite(args.suite, repeats=args.repeats, warmup=args.warmup,
+                        seed=args.seed, patterns=args.cases,
+                        progress=lambda msg: print(msg, file=sys.stderr),
+                        **kwargs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    out = args.out or bench_results.default_output_name(args.suite)
+    bench_results.write(doc, out)
+    print(format_table(["case", "n", "median ms", "mad ms", "min ms"],
+                       bench_results.summary_rows(doc)))
+    if profile:
+        for name in sorted(doc["cases"]):
+            sampling = doc["cases"][name].get("profile", {}).get("sampling", {})
+            frames = sampling.get("top_frames", [])[:3]
+            if frames:
+                hot = ", ".join(f["frame"] for f in frames)
+                print(f"{name}: {sampling.get('samples', 0)} samples, "
+                      f"hot: {hot}")
+    print(f"results: {out}")
+    return 0
+
+
+def _bench_compare(args) -> int:
+    from repro.bench import compare_documents, render_comparison
+    from repro.bench import results as bench_results
+
+    try:
+        current = bench_results.load(args.current)
+        baseline = bench_results.load(args.baseline)
+        comparison = compare_documents(
+            current, baseline, tolerance=args.tolerance, mad_k=args.mad_k,
+            allow_missing=args.allow_missing)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(comparison))
+    return comparison.exit_code
+
+
+def _bench_list(args) -> int:
+    from repro.bench import select_cases, suite_names
+
+    cases = select_cases(args.suite)
+    if not cases:
+        print(f"no cases in suite {args.suite!r} "
+              f"(suites: {', '.join(suite_names())})", file=sys.stderr)
+        return 2
+    for case in cases:
+        print(f"{case.name:32s} [{', '.join(case.suites)}] "
+              f"{case.description}")
+    print(f"{len(cases)} cases; suites: {', '.join(suite_names())}")
+    return 0
+
+
+def _bench_main(argv: List[str]) -> int:
+    args = build_bench_parser().parse_args(argv)
+    if args.command == "run":
+        return _bench_run(args, profile=False)
+    if args.command == "profile":
+        return _bench_run(args, profile=True)
+    if args.command == "compare":
+        return _bench_compare(args)
+    return _bench_list(args)
+
+
 # ----------------------------------------------------------------------- main
 
 def main(argv: List[str] | None = None) -> int:
@@ -372,6 +516,8 @@ def main(argv: List[str] | None = None) -> int:
         return _sweep_main(argv[1:])
     if argv and argv[0] == "obs":
         return _obs_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     runners = _figure_runners()
@@ -381,7 +527,8 @@ def main(argv: List[str] | None = None) -> int:
         for name in sorted(runners):
             print(f"  {name}")
         print("subcommands: campaign, sweep (parallel cached runs), "
-              "obs (artifact reports); see --help")
+              "obs (artifact reports), bench (benchmarks + regression "
+              "gate); see --help")
         return 0
 
     targets = sorted(runners) if "all" in args.targets else args.targets

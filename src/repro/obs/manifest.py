@@ -14,6 +14,7 @@ runs, and readable back via :meth:`RunManifest.load` or
 from __future__ import annotations
 
 import json
+import os
 import platform as _platform
 import subprocess
 import sys
@@ -68,6 +69,9 @@ class RunManifest:
     python_version: str = ""
     numpy_version: Optional[str] = None
     platform: str = ""
+    #: Logical CPUs on the capturing host — load-bearing for interpreting
+    #: benchmark numbers; absent (None) in pre-bench manifests.
+    cpu_count: Optional[int] = None
     #: Unix timestamp of capture.
     created_unix: float = 0.0
     #: Final metrics snapshot (the registry's :meth:`snapshot` schema).
@@ -97,6 +101,7 @@ class RunManifest:
             python_version=".".join(str(v) for v in sys.version_info[:3]),
             numpy_version=_numpy_version(),
             platform=_platform.platform(),
+            cpu_count=os.cpu_count(),
             created_unix=time.time(),
             metrics=dict(metrics) if metrics else {},
             annotations=dict(annotations) if annotations else {},

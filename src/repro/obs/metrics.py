@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "geometric_buckets"]
+           "geometric_buckets", "percentiles_from_counts"]
 
 
 def geometric_buckets(lo: float, hi: float, factor: float = 2.0) -> Tuple[float, ...]:
@@ -48,6 +48,52 @@ def geometric_buckets(lo: float, hi: float, factor: float = 2.0) -> Tuple[float,
         b *= factor
     bounds.append(b)
     return tuple(bounds)
+
+
+def percentiles_from_counts(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    minimum: float,
+    maximum: float,
+    ps: Sequence[float],
+) -> List[float]:
+    """Percentile estimates interpolated from fixed bucket bounds.
+
+    Works on a live :class:`Histogram` or on its snapshot/JSONL record
+    (which carries ``buckets``/``counts``/``min``/``max`` but not the raw
+    samples).  Each requested percentile is located in its bucket by
+    cumulative count, then linearly interpolated between the bucket's
+    bounds; the first bucket's lower bound and the overflow bucket's
+    upper bound are clamped to the observed min/max, so a single-bucket
+    histogram degrades to the [min, max] span rather than the arbitrary
+    bucket edges.
+    """
+    bad = [p for p in ps if not 0.0 <= p <= 100.0]
+    if bad:
+        raise ValueError(f"percentiles must be in [0, 100], got {bad}")
+    total = sum(counts)
+    if total == 0:
+        return [0.0 for _ in ps]
+    out: List[float] = []
+    for p in ps:
+        rank = p / 100.0 * total
+        cum = 0
+        value = maximum
+        for i, c in enumerate(counts):
+            if c == 0:
+                cum += c
+                continue
+            lo = minimum if i == 0 else max(float(buckets[i - 1]), minimum)
+            hi = maximum if i == len(buckets) else min(float(buckets[i]),
+                                                       maximum)
+            hi = max(hi, lo)
+            if cum + c >= rank:
+                frac = (rank - cum) / c if c else 0.0
+                value = lo + frac * (hi - lo)
+                break
+            cum += c
+        out.append(value)
+    return out
 
 
 class Counter:
@@ -128,6 +174,20 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentiles(self, *ps: float) -> List[float]:
+        """Interpolated percentile estimates, one per requested ``p``.
+
+        Estimates come from the bucket bounds (see
+        :func:`percentiles_from_counts`), so precision is bucket-width
+        limited; an empty histogram reports 0.0 everywhere.
+        """
+        return percentiles_from_counts(self.buckets, self.counts,
+                                       self.minimum, self.maximum, ps)
+
+    def percentile(self, p: float) -> float:
+        """A single interpolated percentile estimate."""
+        return self.percentiles(p)[0]
 
     def snapshot_value(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {

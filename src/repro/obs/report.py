@@ -9,9 +9,15 @@ subsystem (or campaign telemetry) writes and renders a human summary:
 * metrics JSONL (``--metrics`` output / ``MetricsRegistry.write_jsonl``)
   — instruments with values and histogram stats;
 * run manifests — provenance fields plus the scalar metrics;
-* campaign telemetry JSONL logs — event counts and wall-time stats.
+* campaign telemetry JSONL logs — event counts and wall-time stats;
+* ``BENCH_*`` benchmark results — per-case timing stats, histogram
+  percentiles, and hot frames.
 
-File kind is sniffed from content, never from the extension.
+File kind is sniffed from content, never from the extension.  Empty
+files report kind ``"empty"`` (the CLI warns and moves on), and JSONL
+inputs with malformed lines — a truncated tail from a killed run is the
+common case — keep their parseable records and surface the skip count
+as a warning instead of failing the whole report.
 """
 
 from __future__ import annotations
@@ -20,48 +26,78 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.bench.results import BENCH_SCHEMA
 from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.obs.metrics import percentiles_from_counts
 
 __all__ = ["describe_file", "render_file"]
 
 
-def _load(path: Path) -> Tuple[str, Any]:
-    """Sniff and parse one artifact; returns (kind, parsed)."""
+def _load(path: Path) -> Tuple[str, Any, List[str]]:
+    """Sniff and parse one artifact; returns (kind, parsed, warnings)."""
     text = path.read_text(encoding="utf-8")
+    if not text.strip():
+        return "empty", None, [f"{path}: empty file"]
     try:
         doc = json.loads(text)
     except json.JSONDecodeError:
         doc = None
     if isinstance(doc, dict):
         if "traceEvents" in doc:
-            return "chrome-trace", doc
+            return "chrome-trace", doc, []
         if doc.get("schema") == MANIFEST_SCHEMA:
-            return "manifest", doc
-        raise ValueError(f"{path}: unrecognized JSON document")
-    # JSONL: one object per line.
+            return "manifest", doc, []
+        if doc.get("schema") == BENCH_SCHEMA:
+            return "bench", doc, []
+        if not _jsonl_kind(doc):
+            raise ValueError(f"{path}: unrecognized JSON document")
+        # else: a one-line JSONL artifact that parsed as a single object;
+        # fall through to the line-by-line path.
+    # JSONL: one object per line.  Tolerate malformed lines (truncated
+    # tails from killed runs) as long as something parses.
     records = []
+    bad_lines: List[int] = []
     for i, line in enumerate(text.splitlines()):
         if not line.strip():
             continue
         try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}:{i + 1}: not JSON ({exc})") from exc
-    if not records or not all(isinstance(r, dict) for r in records):
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            bad_lines.append(i + 1)
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            bad_lines.append(i + 1)
+    warnings = []
+    if bad_lines:
+        shown = ", ".join(str(n) for n in bad_lines[:5])
+        more = f" (+{len(bad_lines) - 5} more)" if len(bad_lines) > 5 else ""
+        warnings.append(f"{path}: skipped {len(bad_lines)} malformed "
+                        f"line(s): {shown}{more}")
+    if not records:
         raise ValueError(f"{path}: no JSON objects found")
-    first = records[0]
-    if "kind" in first and "name" in first:
-        return "metrics-jsonl", records
-    if "type" in first and "ts" in first:
-        return "trace-jsonl", records
-    if "event" in first:
-        return "telemetry-jsonl", records
-    raise ValueError(f"{path}: unrecognized JSONL records")
+    kind = _jsonl_kind(records[0])
+    if kind is None:
+        raise ValueError(f"{path}: unrecognized JSONL records")
+    return kind, records, warnings
+
+
+def _jsonl_kind(record: Dict[str, Any]) -> Optional[str]:
+    """The JSONL artifact kind a record belongs to, or None."""
+    if "kind" in record and "name" in record:
+        return "metrics-jsonl"
+    if "type" in record and "ts" in record:
+        return "trace-jsonl"
+    if "event" in record:
+        return "telemetry-jsonl"
+    return None
 
 
 def describe_file(path: "str | Path") -> Tuple[str, Any]:
     """(kind, parsed content) for an artifact file."""
-    return _load(Path(path))
+    kind, parsed, _warnings = _load(Path(path))
+    return kind, parsed
 
 
 # ------------------------------------------------------------------ renderers
@@ -103,6 +139,16 @@ def _render_trace_jsonl(records: List[Dict[str, Any]]) -> str:
     return head + "\n" + _span_rows(spans, instants)
 
 
+def _histogram_percentiles(record: Dict[str, Any]) -> List[Any]:
+    """p50/p95/p99 cells for a histogram snapshot/JSONL record."""
+    count = record.get("count", 0)
+    if not count or "buckets" not in record or "counts" not in record:
+        return ["", "", ""]
+    return percentiles_from_counts(
+        record["buckets"], record["counts"],
+        record.get("min", 0.0), record.get("max", 0.0), (50, 95, 99))
+
+
 def _render_metrics(records: List[Dict[str, Any]]) -> str:
     from repro.analysis.report import format_table
 
@@ -110,12 +156,15 @@ def _render_metrics(records: List[Dict[str, Any]]) -> str:
     for r in records:
         if r["kind"] == "histogram":
             rows.append([r["name"], r["kind"], r.get("count", 0),
-                         r.get("mean", 0.0), r.get("min", ""), r.get("max", "")])
+                         r.get("mean", 0.0), r.get("min", ""),
+                         r.get("max", ""), *_histogram_percentiles(r)])
         else:
-            rows.append([r["name"], r["kind"], "", r.get("value", 0), "", ""])
+            rows.append([r["name"], r["kind"], "", r.get("value", 0),
+                         "", "", "", "", ""])
     head = f"metrics: {len(records)} instruments"
     return head + "\n" + format_table(
-        ["name", "kind", "count", "value/mean", "min", "max"], rows)
+        ["name", "kind", "count", "value/mean", "min", "max",
+         "p50", "p95", "p99"], rows)
 
 
 def _render_manifest(doc: Dict[str, Any]) -> str:
@@ -159,16 +208,68 @@ def _render_telemetry(records: List[Dict[str, Any]]) -> str:
     return "\n".join(out)
 
 
+def _render_bench(doc: Dict[str, Any]) -> str:
+    from repro.analysis.report import format_table
+    from repro.bench.results import summary_rows
+
+    config = doc.get("config", {})
+    lines = [f"bench suite '{doc.get('suite')}': {len(doc['cases'])} cases, "
+             f"repeats={config.get('repeats')} warmup={config.get('warmup')} "
+             f"seed={config.get('seed')}"]
+    manifest = doc.get("manifest", {})
+    lines.append(f"  host: {manifest.get('platform')} "
+                 f"({manifest.get('cpu_count')} cpus), "
+                 f"git {manifest.get('git_sha') or '?'}")
+    lines.append(format_table(
+        ["case", "n", "median ms", "mad ms", "min ms"], summary_rows(doc)))
+    # Histogram metrics captured per case, with interpolated percentiles.
+    hist_rows: List[List[Any]] = []
+    for name in sorted(doc["cases"]):
+        for metric, value in sorted(
+                doc["cases"][name].get("metrics", {}).items()):
+            if isinstance(value, dict) and "counts" in value:
+                hist_rows.append([name, metric, value.get("count", 0),
+                                  value.get("mean", 0.0),
+                                  *_histogram_percentiles(value)])
+    if hist_rows:
+        lines.append(format_table(
+            ["case", "histogram", "count", "mean", "p50", "p95", "p99"],
+            hist_rows))
+    # Hot frames from a profiling run, hottest first.
+    for name in sorted(doc["cases"]):
+        profile = doc["cases"][name].get("profile")
+        if not profile:
+            continue
+        sampling = profile.get("sampling", {})
+        frames = sampling.get("top_frames", [])[:3]
+        if frames:
+            hot = ", ".join(f"{f['frame']} ({f['self_samples']})"
+                            for f in frames)
+            lines.append(f"  {name}: {sampling.get('samples', 0)} samples; "
+                         f"hot: {hot}")
+    return "\n".join(lines)
+
+
 _RENDERERS = {
     "chrome-trace": _render_chrome,
     "trace-jsonl": _render_trace_jsonl,
     "metrics-jsonl": _render_metrics,
     "manifest": _render_manifest,
     "telemetry-jsonl": _render_telemetry,
+    "bench": _render_bench,
 }
 
 
 def render_file(path: "str | Path") -> str:
-    """A printable summary of one artifact file."""
-    kind, parsed = describe_file(path)
-    return f"== {path} ({kind})\n" + _RENDERERS[kind](parsed)
+    """A printable summary of one artifact file.
+
+    Empty files render as a one-line notice; recoverable parse issues
+    (skipped malformed JSONL lines) are appended as warning lines.
+    """
+    kind, parsed, warnings = _load(Path(path))
+    if kind == "empty":
+        return f"== {path} (empty)\n  (no content — skipped)"
+    out = f"== {path} ({kind})\n" + _RENDERERS[kind](parsed)
+    for warning in warnings:
+        out += f"\nwarning: {warning}"
+    return out

@@ -32,7 +32,11 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-__all__ = ["NULL_TRACER", "NullTracer", "Tracer"]
+__all__ = ["MONOTONIC_CLOCK", "NULL_TRACER", "NullTracer", "Tracer"]
+
+#: The monotonic seconds source shared by spans and the bench/profiling
+#: layer, so their timestamps are directly comparable.
+MONOTONIC_CLOCK = time.perf_counter
 
 
 def _jsonable(value: Any) -> Any:
@@ -93,7 +97,7 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, *, max_events: int = 1_000_000, clock=time.perf_counter):
+    def __init__(self, *, max_events: int = 1_000_000, clock=MONOTONIC_CLOCK):
         self._clock = clock
         self._epoch = clock()
         self.max_events = max_events

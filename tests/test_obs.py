@@ -307,3 +307,107 @@ def test_obs_report_rejects_garbage(tmp_path, capsys):
     bad = tmp_path / "bad.bin"
     bad.write_text("not json at all")
     assert cli.main(["obs", "report", str(bad)]) == 2
+
+
+def test_obs_report_skips_empty_file_and_renders_rest(tmp_path, capsys):
+    """An empty artifact is skipped with a notice; other files still render."""
+    from repro import cli
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    reg = MetricsRegistry()
+    reg.counter("ok.runs").inc(2)
+    good = tmp_path / "good.jsonl"
+    reg.write_jsonl(good)
+
+    assert cli.main(["obs", "report", str(empty), str(good)]) == 0
+    out = capsys.readouterr().out
+    assert "(empty)" in out and "skipped" in out
+    assert "ok.runs" in out  # the healthy file still summarized
+
+
+def test_obs_report_tolerates_truncated_jsonl(tmp_path, capsys):
+    """A truncated tail (killed run) keeps the parseable records."""
+    from repro import cli
+
+    reg = MetricsRegistry()
+    reg.counter("runs").inc(5)
+    reg.gauge("depth").set(3)
+    path = tmp_path / "trunc.jsonl"
+    reg.write_jsonl(path)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"name": "cut-off", "kind": "coun')  # truncated mid-write
+
+    assert cli.main(["obs", "report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "runs" in out and "depth" in out
+    assert "skipped 1 malformed line" in out
+
+
+# -------------------------------------------------------------- percentiles
+
+def test_histogram_percentiles_interpolate_within_buckets():
+    h = Histogram("h", buckets=(10.0, 20.0, 30.0))
+    for v in (10.0, 12.0, 14.0, 16.0, 18.0,    # second bucket (10, 20]
+              22.0, 24.0, 26.0, 28.0, 30.0):   # third bucket (20, 30]
+        h.observe(v)
+    p50, p95 = h.percentiles(50, 95)
+    # Half the mass sits in (10, 20], so p50 lands at that bucket's top.
+    assert 18.0 <= p50 <= 21.0
+    assert 28.0 <= p95 <= 30.0
+    assert h.percentile(0) == pytest.approx(10.0)   # clamped to observed min
+    assert h.percentile(100) == pytest.approx(30.0)  # ... and max
+
+
+def test_histogram_percentiles_clamp_single_bucket_to_min_max():
+    h = Histogram("h", buckets=(1000.0,))
+    for v in (5.0, 6.0, 7.0):
+        h.observe(v)
+    p50 = h.percentile(50)
+    assert 5.0 <= p50 <= 7.0  # not dragged to the 1000.0 bucket bound
+
+
+def test_histogram_percentiles_empty_and_invalid():
+    h = Histogram("h")
+    assert h.percentiles(50, 99) == [0.0, 0.0]
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+
+
+def test_percentiles_from_snapshot_record_match_live_histogram():
+    from repro.obs.metrics import percentiles_from_counts
+
+    h = Histogram("h", buckets=geometric_buckets(1.0, 64.0))
+    for v in range(1, 50):
+        h.observe(float(v))
+    snap = h.snapshot_value()
+    from_snapshot = percentiles_from_counts(
+        snap["buckets"], snap["counts"], snap["min"], snap["max"], (50, 95))
+    assert from_snapshot == h.percentiles(50, 95)
+
+
+def test_obs_report_metrics_table_shows_percentiles(tmp_path, capsys):
+    from repro import cli
+
+    reg = MetricsRegistry()
+    hist = reg.histogram("lat", buckets=geometric_buckets(0.001, 8.0))
+    for v in (0.01, 0.02, 0.04, 0.3, 2.0):
+        hist.observe(v)
+    path = tmp_path / "m.jsonl"
+    reg.write_jsonl(path)
+    assert cli.main(["obs", "report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "p50" in out and "p95" in out and "p99" in out
+
+
+def test_manifest_captures_cpu_count():
+    m = RunManifest.capture(label="t")
+    assert isinstance(m.cpu_count, int) and m.cpu_count >= 1
+    # Pre-bench manifests (no cpu_count field) still load.
+    data = m.to_json_dict()
+    del data["cpu_count"]
+    again = RunManifest.from_json_dict(data)
+    assert again.cpu_count is None
