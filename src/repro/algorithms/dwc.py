@@ -19,7 +19,7 @@ its group for ``separation_timeout`` seconds is split back out.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, ClassVar, Dict, Optional
+from typing import TYPE_CHECKING, ClassVar, Dict
 
 from repro.algorithms.base import MIN_CWND, CongestionController
 

@@ -18,7 +18,7 @@ loss-energy cost is high. The decrease is the standard halving
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, ClassVar, Dict
+from typing import TYPE_CHECKING, ClassVar
 
 from repro.algorithms.base import MIN_CWND, CongestionController
 

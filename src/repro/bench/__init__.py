@@ -27,6 +27,7 @@ from repro.bench.compare import (
     CaseComparison,
     Comparison,
     compare_documents,
+    comparison_to_dict,
     render_comparison,
 )
 from repro.bench.profile import SamplingProfiler, capture_cprofile, \
@@ -53,6 +54,7 @@ __all__ = [
     "all_cases",
     "capture_cprofile",
     "compare_documents",
+    "comparison_to_dict",
     "discover",
     "parse_collapsed",
     "register",

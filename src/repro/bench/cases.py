@@ -29,6 +29,8 @@ __all__ = [
     "fluid_fattree_step_batch",
     "histogram_observe_cost",
     "null_span_cost",
+    "packet_delack_churn",
+    "packet_pooled_lossy",
     "packet_retransmit",
     "packet_transfer",
     "spec_hash_cost",
@@ -78,6 +80,50 @@ def packet_retransmit():
     return net.sim.events_processed
 
 
+def packet_pooled_lossy():
+    """2 MB transfer over a 1%-random-loss path: every loss draw comes
+    from the batched RNG facade and every dropped/delivered packet cycles
+    through the pool. Returns (events, pool reuses)."""
+    from repro.net import Network
+    from repro.net.queues import DropTailQueue
+    from repro.units import mb, mbps, ms
+
+    net = Network(seed=1)
+    a, b = net.add_host("a"), net.add_host("b")
+    s = net.add_switch("s")
+    net.link(a, s, rate_bps=mbps(100), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=100))
+    net.link(s, b, rate_bps=mbps(100), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=100),
+             loss_rate=0.01)
+    conn = net.tcp_connection(net.route([a, s, b]), total_bytes=mb(2))
+    conn.start()
+    net.run_until_complete([conn], timeout=240)
+    return net.sim.events_processed, net.sim.pool.reuses
+
+
+def packet_delack_churn():
+    """4 MB transfer with delayed ACKs: per-segment delack timers are
+    armed and cancelled constantly, exercising the coalesced-RTO path,
+    lazy-cancel stubs, and heap compaction. Returns (events, compactions)."""
+    from repro.net import Network
+    from repro.net.queues import DropTailQueue
+    from repro.units import mb, mbps, ms
+
+    net = Network(seed=1)
+    a, b = net.add_host("a"), net.add_host("b")
+    s = net.add_switch("s")
+    net.link(a, s, rate_bps=mbps(100), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=100))
+    net.link(s, b, rate_bps=mbps(50), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=20))
+    conn = net.tcp_connection(net.route([a, s, b]), total_bytes=mb(4),
+                              delayed_acks=True)
+    conn.start()
+    net.run_until_complete([conn], timeout=240)
+    return net.sim.events_processed, net.sim.heap_compactions
+
+
 def fluid_fattree_step_batch():
     """1000 fluid-model steps over a k=8 fat-tree permutation workload
     (~500 subflows, 768 links); returns the subflow count."""
@@ -107,6 +153,21 @@ def _engine_packet_transfer(ctx: BenchContext):
           description="lossy-bottleneck transfer exercising retransmission")
 def _engine_packet_retransmit(ctx: BenchContext):
     assert packet_retransmit() > 10_000
+
+
+@register("engine.packet_pooled_lossy", suites=("tier1", "engine"),
+          description="random-loss transfer exercising pool recycling + batched RNG")
+def _engine_packet_pooled_lossy(ctx: BenchContext):
+    events, reuses = packet_pooled_lossy()
+    assert events > 10_000
+    assert reuses > 1_000  # the pool must actually be recycling
+
+
+@register("engine.packet_delack_churn", suites=("tier1", "engine"),
+          description="delayed-ACK transfer exercising timer churn + compaction")
+def _engine_packet_delack_churn(ctx: BenchContext):
+    events, _compactions = packet_delack_churn()
+    assert events > 10_000
 
 
 @register("engine.fluid_fattree", suites=("tier1", "engine"),

@@ -27,7 +27,7 @@ from typing import Any, Dict, List, Optional
 from repro.bench import results as _results
 
 __all__ = ["CaseComparison", "Comparison", "compare_documents",
-           "render_comparison"]
+           "comparison_to_dict", "render_comparison"]
 
 DEFAULT_TOLERANCE = 0.10
 DEFAULT_MAD_K = 3.0
@@ -140,6 +140,42 @@ def compare_documents(
                                        base_cases[name], tolerance, mad_k))
     return Comparison(cases=cases, tolerance=tolerance, mad_k=mad_k,
                       allow_missing=allow_missing)
+
+
+def comparison_to_dict(comparison: Comparison) -> Dict[str, Any]:
+    """Machine-readable form of a :class:`Comparison`.
+
+    This is the CI contract behind ``bench compare --json`` (see
+    docs/USAGE.md): top-level ``ok`` / ``exit_code`` / gate parameters,
+    plus one entry per case keyed by name with its status and the
+    medians/threshold/ratio the verdict was derived from. Keys are
+    append-only; consumers must tolerate new ones.
+    """
+    return {
+        "ok": comparison.ok,
+        "exit_code": comparison.exit_code,
+        "tolerance": comparison.tolerance,
+        "mad_k": comparison.mad_k,
+        "allow_missing": comparison.allow_missing,
+        "counts": {
+            "cases": len(comparison.cases),
+            "regressions": len(comparison.regressions),
+            "improvements": len([c for c in comparison.cases
+                                 if c.status == "improvement"]),
+            "missing": len(comparison.missing),
+            "new": len([c for c in comparison.cases if c.status == "new"]),
+        },
+        "cases": {
+            c.name: {
+                "status": c.status,
+                "current_median_s": c.current_median_s,
+                "baseline_median_s": c.baseline_median_s,
+                "threshold_s": c.threshold_s,
+                "ratio": c.ratio,
+            }
+            for c in comparison.cases
+        },
+    }
 
 
 def render_comparison(comparison: Comparison) -> str:

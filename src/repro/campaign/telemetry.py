@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 
 def engine_throughput(engine: Any, wall_s: float) -> Dict[str, float]:

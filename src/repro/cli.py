@@ -421,6 +421,10 @@ def build_bench_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--allow-missing", action="store_true",
                        help="do not fail when a baseline case is absent "
                             "from the current run")
+    cmp_p.add_argument("--json", metavar="PATH", dest="json_out",
+                       help="also write the machine-readable verdict "
+                            "(the CI contract, see docs/USAGE.md) to PATH, "
+                            "or '-' for stdout instead of the table")
 
     list_p = sub.add_parser("list", help="list registered cases and suites")
     list_p.add_argument("--suite", default=None, metavar="NAME",
@@ -463,7 +467,13 @@ def _bench_run(args, profile: bool) -> int:
 
 
 def _bench_compare(args) -> int:
-    from repro.bench import compare_documents, render_comparison
+    import json as _json
+
+    from repro.bench import (
+        compare_documents,
+        comparison_to_dict,
+        render_comparison,
+    )
     from repro.bench import results as bench_results
 
     try:
@@ -475,7 +485,17 @@ def _bench_compare(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_comparison(comparison))
+    json_out = getattr(args, "json_out", None)
+    if json_out == "-":
+        print(_json.dumps(comparison_to_dict(comparison), indent=2,
+                          sort_keys=True))
+    else:
+        print(render_comparison(comparison))
+        if json_out:
+            Path(json_out).write_text(
+                _json.dumps(comparison_to_dict(comparison), indent=2,
+                            sort_keys=True) + "\n")
+            print(f"json verdict: {json_out}")
     return comparison.exit_code
 
 

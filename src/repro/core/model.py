@@ -24,7 +24,7 @@ helpers between model quantities and per-ACK window rules:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 

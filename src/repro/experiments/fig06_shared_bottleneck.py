@@ -14,7 +14,7 @@ senders, so RAPL energy divides across them).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import BoxStats, box_stats

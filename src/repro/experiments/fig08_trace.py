@@ -8,7 +8,7 @@ degrading its throughput".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import repro.obs as obs
 from repro.analysis.report import format_table

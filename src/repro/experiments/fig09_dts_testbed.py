@@ -9,7 +9,7 @@ responsiveness".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.analysis.compare import relative_saving
 from repro.analysis.report import format_table

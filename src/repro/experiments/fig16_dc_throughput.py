@@ -8,7 +8,7 @@ DTS / extended DTS do not come at the cost of datacenter utilization
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.analysis.report import format_table
 from repro.experiments.fig15_phi import Fig15Result, run as run_fig15

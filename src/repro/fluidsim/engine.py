@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 import repro.obs as obs
-from repro.energy.cpu import HostPowerModel, WiredPathPower, default_wired_host
+from repro.energy.cpu import HostPowerModel, default_wired_host
 from repro.energy.switch import SwitchPowerModel
 from repro.errors import ConfigurationError
 from repro.fluidsim.network import FluidNetwork
@@ -195,7 +195,6 @@ class FluidSimulation:
         util_accum = np.zeros(net.n_links)
         host_energy = 0.0
         switch_energy = 0.0
-        energy_steps = 0
         samples_t: List[float] = []
         samples_goodput: List[float] = []
         samples_power: List[float] = []
@@ -273,7 +272,6 @@ class FluidSimulation:
 
                 # Energy + obs probes (sampled every few steps for speed).
                 if step % self.energy_sample_every == 0:
-                    energy_steps += 1
                     host_p = self._host_power_now(x_bps)
                     switch_p = self._switch_power_now(util)
                     host_energy += host_p * dt * self.energy_sample_every

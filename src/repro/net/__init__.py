@@ -16,8 +16,9 @@ from repro.net.monitor import FlowMonitor, LinkMonitor, PeriodicSampler
 from repro.net.mptcp import MptcpConnection
 from repro.net.network import Network
 from repro.net.node import Host, Node, Switch
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketPool
 from repro.net.queues import DropTailQueue, EcnConfig, REDQueue
+from repro.net.rand import BatchedRandom
 from repro.net.routing import Route
 from repro.net.scheduler import (
     GreedyScheduler,
@@ -29,6 +30,7 @@ from repro.net.trace import FlowTracer, TraceEvent
 from repro.net.flow import TcpReceiver, TcpSender
 
 __all__ = [
+    "BatchedRandom",
     "DropTailQueue",
     "EcnConfig",
     "EventHandle",
@@ -46,6 +48,7 @@ __all__ = [
     "Network",
     "Node",
     "Packet",
+    "PacketPool",
     "PeriodicSampler",
     "REDQueue",
     "Route",

@@ -11,30 +11,45 @@ import numpy as np
 
 import repro.obs as obs
 from repro.errors import SimulationError
+from repro.net.packet import PacketPool
+from repro.net.rand import BatchedRandom
 
 #: Queue depth / dispatch probes fire once per this many events, keeping
-#: per-event cost at a mask-and-test even while tracing is enabled.
+#: per-event cost at a decrement-and-test even while tracing is enabled.
 _PROBE_EVERY = 1024
+
+#: Compaction trigger floor: never rebuild a heap smaller than this, the
+#: filter+heapify cost would exceed what the stubs ever cost to drain.
+_COMPACT_MIN_STUBS = 512
+
+_INF = float("inf")
 
 
 class EventHandle:
     """Handle to a scheduled event, allowing cancellation.
 
     Cancellation is lazy: the event stays in the heap but is skipped when
-    popped. This keeps scheduling O(log n) with no heap surgery.
+    popped. This keeps scheduling O(log n) with no heap surgery; the
+    simulator counts live cancelled stubs and periodically compacts the
+    heap when they dominate it (see :meth:`Simulator.run`).
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+    def __init__(self, time: float, callback: Callable[..., None], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Mark the event so it will be skipped when its time comes."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._cancelled_pending += 1
 
 
 class Simulator:
@@ -45,22 +60,48 @@ class Simulator:
     seed:
         Seed for the simulator-owned random generator. All stochastic
         elements of a simulation (random losses, workload arrivals) must
-        draw from :attr:`rng` so runs are reproducible.
+        draw through :attr:`rand` (a chunk-prefetching facade over
+        :attr:`rng`) so runs are reproducible and batching stays
+        stream-exact.
     metrics:
         Metrics registry to report through; defaults to the ambient obs
         session's registry, or a private one outside a session.
     tracer:
         Span tracer; defaults to the ambient session's (the shared
         no-op tracer outside a session).
+    pooling:
+        Recycle :class:`~repro.net.packet.Packet` objects through
+        :attr:`pool` instead of allocating per send (default on;
+        behaviour-preserving, see :class:`~repro.net.packet.PacketPool`).
+    pool_debug:
+        Enable the pool's double-release / leak bookkeeping.
+    compact_min_stubs / compact_fraction:
+        Heap compaction triggers: rebuild the event heap (dropping
+        cancelled stubs) once at least ``compact_min_stubs`` stubs are
+        pending *and* they exceed ``compact_fraction`` of the heap.
+        ``compact_fraction=None`` disables compaction.
     """
 
     def __init__(self, seed: Optional[int] = None, *,
                  metrics: Optional["obs.MetricsRegistry"] = None,
-                 tracer=None):
+                 tracer=None,
+                 pooling: bool = True,
+                 pool_debug: bool = False,
+                 compact_min_stubs: int = _COMPACT_MIN_STUBS,
+                 compact_fraction: Optional[float] = 0.5):
         self.now: float = 0.0
         self.rng = np.random.default_rng(seed)
+        #: Batched draw facade over :attr:`rng` — the one sanctioned way
+        #: to consume simulator randomness (stream-identical to direct
+        #: single draws; see :mod:`repro.net.rand`).
+        self.rand = BatchedRandom(self.rng)
+        #: Free-list recycler for data/ACK packets.
+        self.pool = PacketPool(enabled=pooling, debug=pool_debug)
         self._heap: list = []
         self._counter = itertools.count()
+        self._cancelled_pending = 0
+        self._compact_min_stubs = compact_min_stubs
+        self._compact_fraction = compact_fraction
         self.metrics = metrics if metrics is not None else obs.registry_or_new()
         self.tracer = tracer if tracer is not None else obs.current_tracer()
         self._events_counter = self.metrics.counter("engine.events_processed")
@@ -68,6 +109,9 @@ class Simulator:
         self._queue_gauge = self.metrics.gauge("engine.queue_depth")
         self._queue_hist = self.metrics.histogram(
             "engine.queue_depth_sampled", obs.geometric_buckets(1, 1 << 20))
+        self._compactions_counter = self.metrics.counter("engine.heap_compactions")
+        self._pool_reuse_counter = self.metrics.counter("packet.pool_reuse")
+        self._pool_reuse_flushed = 0
 
     @property
     def events_processed(self) -> int:
@@ -89,11 +133,19 @@ class Simulator:
             return 0.0
         return self._events_counter.value / wall
 
+    @property
+    def heap_compactions(self) -> int:
+        """Number of cancelled-stub heap rebuilds so far."""
+        return int(self._compactions_counter.value)
+
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback, *args)
+        when = self.now + delay
+        handle = EventHandle(when, callback, args, self)
+        heapq.heappush(self._heap, (when, next(self._counter), handle, callback, args))
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
@@ -101,9 +153,29 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time:.6f}, already at {self.now:.6f}"
             )
-        handle = EventHandle(time, callback, args)
-        heapq.heappush(self._heap, (time, next(self._counter), handle))
+        handle = EventHandle(time, callback, args, self)
+        heapq.heappush(self._heap, (time, next(self._counter), handle, callback, args))
         return handle
+
+    def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle.
+
+        The hot path for link serialization/propagation events, which are
+        never cancelled — skipping the handle saves an allocation per
+        event.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap,
+                       (self.now + delay, next(self._counter), None, callback, args))
+
+    def post_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no cancellation handle."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, already at {self.now:.6f}"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), None, callback, args))
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events in time order.
@@ -116,34 +188,54 @@ class Simulator:
         max_events:
             Safety valve for runaway simulations; raises
             :class:`SimulationError` when exceeded.
+
+        Cancelled events are skipped when popped; when enough cancelled
+        stubs accumulate (see ``compact_min_stubs`` / ``compact_fraction``)
+        the heap is rebuilt without them. Compaction preserves the
+        (time, tie-break) order of every live event exactly, so it is
+        invisible to the simulation.
         """
         executed = 0
         heap = self._heap
+        pop = heapq.heappop
         tracer = self.tracer
         traced = tracer.enabled
+        until_f = _INF if until is None else until
+        budget = _INF if max_events is None else max_events
+        min_stubs = self._compact_min_stubs
+        fraction = self._compact_fraction
+        probe_left = _PROBE_EVERY
         wall_start = time.perf_counter()
         try:
             with tracer.span("sim.run", until=until, start=self.now):
                 while heap:
-                    when, _, handle = heap[0]
-                    if until is not None and when > until:
-                        self.now = until
-                        return
-                    heapq.heappop(heap)
-                    if handle.cancelled:
+                    entry = heap[0]
+                    when = entry[0]
+                    if when > until_f:
+                        break
+                    pop(heap)
+                    handle = entry[2]
+                    if handle is not None and handle.cancelled:
+                        self._cancelled_pending -= 1
                         continue
                     self.now = when
-                    handle.callback(*handle.args)
+                    entry[3](*entry[4])
                     executed += 1
-                    if executed % _PROBE_EVERY == 0:
+                    probe_left -= 1
+                    if not probe_left:
+                        probe_left = _PROBE_EVERY
                         self._queue_hist.observe(len(heap))
                         if traced:
                             tracer.instant(
                                 "sim.dispatch", sim_now=self.now,
                                 queue_depth=len(heap),
-                                callback=getattr(handle.callback, "__qualname__",
-                                                 repr(handle.callback)))
-                    if max_events is not None and executed >= max_events:
+                                callback=getattr(entry[3], "__qualname__",
+                                                 repr(entry[3])))
+                        stubs = self._cancelled_pending
+                        if (fraction is not None and stubs >= min_stubs
+                                and stubs > fraction * len(heap)):
+                            heap = self._compact()
+                    if executed >= budget:
                         raise SimulationError(f"exceeded max_events={max_events}")
                 if until is not None:
                     self.now = until
@@ -151,6 +243,24 @@ class Simulator:
             self._events_counter.inc(executed)
             self._wall_counter.inc(time.perf_counter() - wall_start)
             self._queue_gauge.set(len(heap))
+            reuses = self.pool.reuses
+            if reuses > self._pool_reuse_flushed:
+                self._pool_reuse_counter.inc(reuses - self._pool_reuse_flushed)
+                self._pool_reuse_flushed = reuses
+
+    def _compact(self) -> list:
+        """Rebuild the heap without cancelled stubs; returns the new heap.
+
+        Entries keep their original (time, counter) keys, so heapify
+        yields exactly the pop order the uncompacted heap would have
+        produced for the surviving events.
+        """
+        heap = [e for e in self._heap if e[2] is None or not e[2].cancelled]
+        heapq.heapify(heap)
+        self._heap = heap
+        self._cancelled_pending = 0
+        self._compactions_counter.inc()
+        return heap
 
     def pending(self) -> int:
         """Number of events still queued (including cancelled stubs)."""

@@ -14,7 +14,7 @@ share a :class:`SegmentSupply` and a coupled congestion controller.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
@@ -29,6 +29,8 @@ if TYPE_CHECKING:  # pragma: no cover
 MIN_RTO = 0.2
 MAX_RTO = 60.0
 INITIAL_RTO = 1.0
+
+_INF = float("inf")
 
 
 class SegmentSupply:
@@ -105,6 +107,7 @@ class TcpReceiver:
         self.flow_id = flow_id
         self.route = route
         self.sender = sender
+        self._pool = sim.pool
         self.rcv_next = 0
         self._out_of_order: set = set()
         self.packets_received = 0
@@ -155,7 +158,7 @@ class TcpReceiver:
             self._delack_event.cancel()
             self._delack_event = None
         self._pending_since = None
-        ack = Packet.ack(
+        ack = self._pool.ack(
             self.flow_id,
             self.rcv_next,
             self.route.reverse,
@@ -191,11 +194,13 @@ class TcpSender:
         rcv_buffer_segments: Optional[int] = None,
         ecn_capable: bool = False,
         delayed_acks: bool = False,
+        rto_coalesce: bool = True,
     ):
         self.sim = sim
         self.flow_id = flow_id
         self.route = route
         self.supply = supply
+        self._pool = sim.pool
         self.mss = mss
         self.packet_bytes = packet_bytes
         self.ecn_capable = ecn_capable
@@ -242,7 +247,14 @@ class TcpSender:
         self.latest_rtt: Optional[float] = None
         self.rto = INITIAL_RTO
         self._rto_backoff = 1.0
+        # --- RTO timer (coalesced by default: one armed tick event,
+        # re-aimed lazily, instead of cancel+reschedule per ACK) ---
+        #: When the conceptual retransmission timer expires (inf = off).
+        self._rto_deadline = _INF
+        #: When the armed tick event fires (inf = nothing armed).
+        self._rto_tick_at = _INF
         self._rto_event = None
+        self.rto_coalesce = rto_coalesce
 
         # --- counters ---
         self.fast_retransmits = 0
@@ -286,8 +298,12 @@ class TcpSender:
             return True
         return seq <= self._max_sacked - 3
 
-    def _compute_pipe(self) -> int:
-        """Segments currently in flight during a recovery episode."""
+    def _compute_pipe_reference(self) -> int:
+        """Per-sequence specification of :meth:`_compute_pipe`.
+
+        The O(window) loop the closed form below must match exactly;
+        kept as the oracle for the fast-path property tests.
+        """
         pipe = 0
         sacked = self._sacked
         retx = self._retx_outstanding
@@ -300,6 +316,40 @@ class TcpSender:
                 pipe += 1  # sent after the episode began; presumed in flight
             elif not self._hole_is_lost(seq):
                 pipe += 1
+        return pipe
+
+    def _compute_pipe(self) -> int:
+        """Segments currently in flight during a recovery episode.
+
+        Closed form of :meth:`_compute_pipe_reference` — O(|sacked| +
+        |retransmitted|) instead of O(window), by counting the three
+        disjoint contributions directly:
+
+        * every non-SACKed seq in [recover_point, high_water) is in flight;
+        * every unacknowledged retransmission below recover_point is in
+          flight (the scoreboard keeps it disjoint from the SACKed set);
+        * a plain hole below recover_point is in flight only while the
+          IsLost heuristic has not yet presumed it lost — i.e. it lies
+          above ``max_sacked - 3`` (never, after an RTO).
+        """
+        acked = self.acked
+        recover = self.recover_point
+        sacked = self._sacked
+        retx = self._retx_outstanding
+        pipe = (self.high_water - recover)
+        if sacked:
+            pipe -= sum(1 for s in sacked if s >= recover)
+        pipe += sum(1 for x in retx if x < recover)
+        if not self._rto_recovery:
+            lo = self._max_sacked - 2  # seq > max_sacked - 3, i.e. not lost
+            if lo < acked:
+                lo = acked
+            if lo < recover:
+                pipe += recover - lo
+                if sacked:
+                    pipe -= sum(1 for s in sacked if lo <= s < recover)
+                if retx:
+                    pipe -= sum(1 for x in retx if lo <= x < recover)
         return pipe
 
     @property
@@ -336,9 +386,13 @@ class TcpSender:
         have not already retransmitted this recovery episode.
         """
         seq = max(self._hole_scan, self.acked)
-        while seq < self.recover_point:
-            if seq not in self._sacked and seq not in self._retransmitted_holes:
-                if not self._hole_is_lost(seq):
+        recover = self.recover_point
+        sacked = self._sacked
+        done = self._retransmitted_holes
+        lost_below = _INF if self._rto_recovery else self._max_sacked - 3
+        while seq < recover:
+            if seq not in sacked and seq not in done:
+                if seq > lost_below:  # inlined _hole_is_lost
                     return -1  # later holes are even less likely lost yet
                 self._hole_scan = seq
                 return seq
@@ -348,9 +402,12 @@ class TcpSender:
 
     def _send_available(self) -> None:
         window = self._effective_window()
+        supply = self.supply
         sent_any = False
-        while self.inflight < window:
-            if self.in_recovery:
+        if self.in_recovery:
+            # in_recovery cannot flip inside the loop (no ACKs arrive
+            # while we send), so the hole/new-data split hoists out.
+            while self._pipe_cache < window:
                 hole = self._next_hole()
                 if hole >= 0:
                     self._retransmitted_holes.add(hole)
@@ -359,19 +416,28 @@ class TcpSender:
                     self._pipe_cache += 1
                     sent_any = True
                     continue
-            if self.supply.completed or not self.supply.take(self):
-                break
-            self._send_segment(self.next_seq, is_retransmit=False)
-            self.next_seq += 1
-            self.high_water = max(self.high_water, self.next_seq)
-            if self.in_recovery:
+                if supply.completed or not supply.take(self):
+                    break
+                self._send_segment(self.next_seq, is_retransmit=False)
+                self.next_seq += 1
+                self.high_water = max(self.high_water, self.next_seq)
                 self._pipe_cache += 1
-            sent_any = True
+                sent_any = True
+        else:
+            inflight = self.high_water - self.acked - len(self._sacked)
+            while inflight < window:
+                if supply.completed or not supply.take(self):
+                    break
+                self._send_segment(self.next_seq, is_retransmit=False)
+                self.next_seq += 1
+                self.high_water = max(self.high_water, self.next_seq)
+                inflight += 1
+                sent_any = True
         if sent_any:
             self._ensure_rto_timer()
 
     def _send_segment(self, seq: int, *, is_retransmit: bool) -> None:
-        pkt = Packet.data(
+        pkt = self._pool.data(
             self.flow_id,
             seq,
             self.route.forward,
@@ -526,17 +592,57 @@ class TcpSender:
     # ---------------------------------------------------------------- timers
 
     def _ensure_rto_timer(self) -> None:
-        if self._rto_event is None:
+        if self.rto_coalesce:
+            if self._rto_deadline == _INF:
+                self._restart_rto_timer()
+        elif self._rto_event is None:
             self._restart_rto_timer()
 
     def _restart_rto_timer(self) -> None:
-        self._cancel_rto_timer()
-        self._rto_event = self.sim.schedule(self.rto * self._rto_backoff, self._on_rto)
+        deadline = self.sim.now + self.rto * self._rto_backoff
+        if not self.rto_coalesce:
+            self._cancel_rto_timer()
+            self._rto_event = self.sim.schedule_at(deadline, self._on_rto)
+            return
+        # Coalesced: per-ACK restart is two attribute stores. The armed
+        # tick only moves when the new deadline is *earlier* than what is
+        # armed (rare — RTO estimates shrink slowly); a later deadline is
+        # handled lazily by _rto_tick re-arming itself.
+        self._rto_deadline = deadline
+        if deadline < self._rto_tick_at:
+            if self._rto_event is not None:
+                self._rto_event.cancel()
+            self._rto_event = self.sim.schedule_at(deadline, self._rto_tick)
+            self._rto_tick_at = deadline
 
     def _cancel_rto_timer(self) -> None:
+        if self.rto_coalesce:
+            # The armed tick (if any) stays queued and no-ops at fire time.
+            self._rto_deadline = _INF
+            return
         if self._rto_event is not None:
             self._rto_event.cancel()
             self._rto_event = None
+
+    def _rto_tick(self) -> None:
+        """Fire point of the coalesced timer: re-aim or expire.
+
+        Fires at a (possibly stale) deadline. If the conceptual deadline
+        moved later in the meantime, re-arm at the true deadline; the
+        retransmission then happens at exactly the time the per-ACK
+        cancel+reschedule scheme would have produced.
+        """
+        self._rto_event = None
+        self._rto_tick_at = _INF
+        deadline = self._rto_deadline
+        if deadline == _INF:
+            return
+        if deadline > self.sim.now:
+            self._rto_event = self.sim.schedule_at(deadline, self._rto_tick)
+            self._rto_tick_at = deadline
+            return
+        self._rto_deadline = _INF
+        self._on_rto()
 
     def _on_rto(self) -> None:
         self._rto_event = None

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
@@ -63,6 +63,8 @@ class Link:
         self.delay = delay
         self.queue = queue if queue is not None else DropTailQueue()
         self.loss_rate = loss_rate
+        self._rand = sim.rand
+        self._pool = sim.pool
         self._busy = False
         self.bytes_sent = 0
         self.packets_sent = 0
@@ -79,17 +81,23 @@ class Link:
         """Accept a packet for transmission (queueing it if busy)."""
         if not self.up:
             self.failure_drops += 1
+            self._pool.release(packet)
             return
         if self._busy:
-            self.queue.push(packet)  # drop is accounted inside the queue
+            if not self.queue.push(packet):  # drop is accounted in the queue
+                self._pool.release(packet)
             return
         self._start_serialization(packet)
 
     def fail(self) -> None:
         """Take the link down: everything queued or in flight is lost."""
         self.up = False
-        while self.queue.pop() is not None:
+        while True:
+            packet = self.queue.pop()
+            if packet is None:
+                break
             self.failure_drops += 1
+            self._pool.release(packet)
 
     def restore(self) -> None:
         """Bring the link back up."""
@@ -98,12 +106,12 @@ class Link:
     def _start_serialization(self, packet: Packet) -> None:
         self._busy = True
         tx_time = bytes_to_bits(packet.size_bytes) / self.rate_bps
-        self.sim.schedule(tx_time, self._serialization_done, packet)
+        self.sim.post(tx_time, self._serialization_done, packet)
 
     def _serialization_done(self, packet: Packet) -> None:
         self.bytes_sent += packet.size_bytes
         self.packets_sent += 1
-        self.sim.schedule(self.delay, self._arrive, packet)
+        self.sim.post(self.delay, self._arrive, packet)
         nxt = self.queue.pop()
         if nxt is not None:
             self._start_serialization(nxt)
@@ -113,15 +121,19 @@ class Link:
     def _arrive(self, packet: Packet) -> None:
         if not self.up:
             self.failure_drops += 1  # was in flight when the link died
+            self._pool.release(packet)
             return
-        if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+        if self.loss_rate > 0.0 and self._rand.random() < self.loss_rate:
             self.random_losses += 1
+            self._pool.release(packet)
             return
-        packet.hop += 1
-        if packet.hop < len(packet.route):
-            packet.route[packet.hop].transmit(packet)
+        hop = packet.hop + 1
+        packet.hop = hop
+        if hop < len(packet.route):
+            packet.route[hop].transmit(packet)
         else:
             packet.sink.receive(packet)
+            self._pool.release(packet)
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of capacity used over ``elapsed`` seconds of simulation."""

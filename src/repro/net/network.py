@@ -27,8 +27,11 @@ from repro.net.routing import Route
 class Network:
     """Owns a simulator, the topology graph, and the connections on it."""
 
-    def __init__(self, seed: Optional[int] = None):
-        self.sim = Simulator(seed)
+    def __init__(self, seed: Optional[int] = None, **sim_kwargs):
+        """``sim_kwargs`` pass through to :class:`Simulator` — the fast-path
+        knobs (``pooling``, ``pool_debug``, ``compact_fraction``, …) the
+        equivalence tests toggle."""
+        self.sim = Simulator(seed, **sim_kwargs)
         self.hosts: List[Host] = []
         self.switches: List[Switch] = []
         self.links: List[Link] = []

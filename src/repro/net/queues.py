@@ -76,6 +76,12 @@ class REDQueue:
     Maintains an EWMA of the occupancy; between ``min_th`` and ``max_th`` the
     drop/mark probability ramps linearly up to ``max_p``, above ``max_th``
     everything is dropped (or marked, for ECN-capable packets).
+
+    ``rng`` needs only a scalar ``random()`` method. Pass ``sim.rand`` (the
+    :class:`~repro.net.rand.BatchedRandom` facade) so early-drop draws are
+    chunk-prefetched and interleave stream-exactly with the link-loss
+    draws; a raw ``numpy`` Generator also works but must then be the
+    *same* stream the facade wraps only if nothing else batches from it.
     """
 
     def __init__(

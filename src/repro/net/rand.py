@@ -1,0 +1,140 @@
+"""Chunk-prefetching facade over the simulator's random generator.
+
+Per-packet loss draws (`Link`), RED early-drop draws, and workload
+arrival draws all pull single variates from one shared
+``numpy.random.Generator``. Scalar draws through the Generator API cost
+vastly more than their share of an array fill, so :class:`BatchedRandom`
+prefetches chunks and serves values one at a time.
+
+The hard requirement is **stream identity**: every figure in the repo is
+pinned to seeds, and the comparator gate (`docs/BENCHMARKS.md`) demands
+byte-identical outputs. Batching must therefore consume the underlying
+bit stream *exactly* as the equivalent sequence of scalar draws would.
+Two facts make that possible:
+
+* ``rng.random(n)`` (and ``rng.exponential(scale, n)``, …) advances the
+  bit generator identically to ``n`` successive scalar draws of the same
+  distribution — the array paths call the same scalar sampler in a loop;
+* the bit generator's state can be snapshotted and restored, so an
+  over-prefetched chunk can be *rewound*: restore the pre-chunk state,
+  replay exactly the ``k`` values actually served (one array draw), and
+  the generator sits precisely where unbatched code would have left it.
+
+A chunk of one distribution is live at a time. A draw from a different
+distribution (or different parameters) first :meth:`sync`\\ s the live
+chunk — rewind + replay — then proceeds directly, so arbitrary
+interleavings of draw kinds remain byte-identical to the unbatched
+stream. To avoid thrashing on alternating draw kinds (e.g. the Pareto
+burst source's interval/duration pairs), a chunk only starts once two
+consecutive draws ask for the same distribution with the same
+parameters.
+
+Code that must touch :attr:`rng` directly (e.g. ``shuffle``) should call
+:meth:`sync` first; everything inside ``repro`` draws through the facade.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BatchedRandom"]
+
+#: Values prefetched per chunk for the per-packet uniform stream.
+UNIFORM_CHUNK = 256
+#: Values prefetched per chunk for (rarer) workload-arrival draws.
+VARIATE_CHUNK = 64
+
+
+class BatchedRandom:
+    """Stream-exact batched draws from a ``numpy.random.Generator``."""
+
+    __slots__ = ("rng", "_chunk", "_idx", "_n", "_kind", "_saved_state",
+                 "_last_kind", "chunk_refills", "syncs")
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self._chunk: Optional[np.ndarray] = None
+        self._idx = 0
+        self._n = 0
+        #: (distribution name, params) of the live chunk, or None.
+        self._kind: Optional[Tuple] = None
+        self._saved_state = None
+        self._last_kind: Optional[Tuple] = None
+        self.chunk_refills = 0
+        self.syncs = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def sync(self) -> None:
+        """Rewind any live chunk so :attr:`rng` sits exactly where the
+        equivalent unbatched draw sequence would have left it.
+
+        Call before drawing from :attr:`rng` directly.
+        """
+        if self._kind is None:
+            return
+        self.syncs += 1
+        if self._idx < self._n:
+            self.rng.bit_generator.state = self._saved_state
+            if self._idx:
+                # Replaying as one array draw consumes the same bits as
+                # the scalar draws the unbatched code would have made.
+                self._draw_array(self._kind, self._idx)
+        # else: fully-served chunk — the state already matches unbatched.
+        self._chunk = None
+        self._idx = 0
+        self._n = 0
+        self._kind = None
+        self._saved_state = None
+
+    def _draw_array(self, kind: Tuple, n: int) -> np.ndarray:
+        name = kind[0]
+        if name == "random":
+            return self.rng.random(n)
+        if name == "exponential":
+            return self.rng.exponential(kind[1], n)
+        if name == "pareto":
+            return self.rng.pareto(kind[1], n)
+        raise ValueError(f"unbatchable distribution {name!r}")  # pragma: no cover
+
+    def _next(self, kind: Tuple, chunk_size: int) -> float:
+        """Serve one value of ``kind``, chunking when the stream repeats."""
+        if self._kind == kind and self._idx < self._n:
+            value = self._chunk[self._idx]
+            self._idx += 1
+            return float(value)
+        if self._kind is not None:
+            self.sync()
+        if self._last_kind != kind:
+            # First draw of a (kind, params) run: stay unbatched until the
+            # stream proves repetitive, so alternating kinds never thrash.
+            self._last_kind = kind
+            return float(self._draw_array(kind, 1)[0])
+        self._saved_state = self.rng.bit_generator.state
+        self._chunk = self._draw_array(kind, chunk_size)
+        self._kind = kind
+        self._idx = 1
+        self._n = chunk_size
+        self.chunk_refills += 1
+        return float(self._chunk[0])
+
+    # ------------------------------------------------------------------ api
+
+    def random(self) -> float:
+        """One uniform draw in [0, 1) — the per-packet loss/RED hot path."""
+        return self._next(("random",), UNIFORM_CHUNK)
+
+    def exponential(self, scale: float) -> float:
+        """One exponential draw with the given scale (mean)."""
+        return self._next(("exponential", scale), VARIATE_CHUNK)
+
+    def pareto(self, shape: float) -> float:
+        """One (Lomax-convention, as numpy) Pareto draw."""
+        return self._next(("pareto", shape), VARIATE_CHUNK)
+
+    def uniform(self, low: float, high: float) -> float:
+        """One uniform draw in [low, high); synced pass-through."""
+        self.sync()
+        return float(self.rng.uniform(low, high))

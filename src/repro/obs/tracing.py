@@ -30,7 +30,7 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 __all__ = ["MONOTONIC_CLOCK", "NULL_TRACER", "NullTracer", "Tracer"]
 

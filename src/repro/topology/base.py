@@ -9,7 +9,7 @@ two :class:`LinkSpec` entries.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import RoutingError

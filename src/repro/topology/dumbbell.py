@@ -11,7 +11,7 @@ quality states (Good/Bad x Good/Bad) occur at random. Behind Figs. 7-9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
@@ -35,9 +35,9 @@ class SharedBottleneckScenario:
     def start_all(self, jitter: float = 0.05) -> None:
         """Start every connection, de-synchronized by a small random jitter
         so slow starts don't phase-lock."""
-        rng = self.network.sim.rng
+        rand = self.network.sim.rand
         for conn in self.mptcp_connections + self.tcp_connections:
-            conn.start(at=float(rng.uniform(0.0, jitter)))
+            conn.start(at=rand.uniform(0.0, jitter))
 
 
 def build_shared_bottleneck(

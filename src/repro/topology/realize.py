@@ -76,7 +76,6 @@ def realize(
         key = frozenset((spec.src, spec.dst))
         if key in done:
             # The reverse direction: verify it mirrors the forward one.
-            reverse_idx = topology.link_id(spec.src, spec.dst)
             fwd_idx = topology.link_id(spec.dst, spec.src)
             fwd = topology.links[fwd_idx]
             if fwd.capacity_bps != spec.capacity_bps or fwd.delay_s != spec.delay_s:

@@ -46,7 +46,7 @@ def staggered_bulk_transfers(
     starts, as concurrent senders in a real testbed would be)."""
     if jitter < 0:
         raise ConfigurationError(f"jitter must be >= 0, got {jitter}")
-    rng = network.sim.rng
+    rand = network.sim.rand
     for conn in connections:
-        conn.start(at=float(rng.uniform(0.0, jitter)))
+        conn.start(at=rand.uniform(0.0, jitter))
     return BulkTransferSet(list(connections))

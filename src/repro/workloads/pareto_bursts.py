@@ -12,7 +12,7 @@ what makes the test harsh).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
@@ -89,12 +89,12 @@ class ParetoBurstSource:
         )
 
     def _next_off_period(self) -> float:
-        return float(self.sim.rng.exponential(self.mean_interval))
+        return self.sim.rand.exponential(self.mean_interval)
 
     def _next_on_period(self) -> float:
         # Pareto with mean m and shape a has scale m*(a-1)/a.
         scale = self.mean_duration * (self.pareto_shape - 1) / self.pareto_shape
-        return float(scale * (1.0 + self.sim.rng.pareto(self.pareto_shape)))
+        return scale * (1.0 + self.sim.rand.pareto(self.pareto_shape))
 
     def _begin_burst(self) -> None:
         self._on = True

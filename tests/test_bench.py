@@ -283,6 +283,23 @@ def test_compare_improvement_reported_not_gated():
     assert comparison.exit_code == 0
 
 
+def test_comparison_to_dict_is_the_ci_contract():
+    from repro.bench import comparison_to_dict
+
+    base = make_doc({"a": [1.0, 1.0, 1.0], "gone": [1.0]})
+    cur = make_doc({"a": [2.0, 2.0, 2.0], "b": [1.0]})
+    verdict = comparison_to_dict(compare_documents(cur, base))
+    assert verdict["ok"] is False and verdict["exit_code"] == 1
+    assert verdict["counts"] == {"cases": 3, "regressions": 1,
+                                 "improvements": 0, "missing": 1, "new": 1}
+    assert verdict["cases"]["a"]["status"] == "regression"
+    assert verdict["cases"]["a"]["ratio"] == pytest.approx(2.0)
+    assert verdict["cases"]["b"]["status"] == "new"
+    assert verdict["cases"]["gone"]["status"] == "missing"
+    # The contract document must be pure JSON.
+    json.loads(json.dumps(verdict))
+
+
 def test_render_comparison_mentions_verdict():
     base = make_doc({"a": [1.0]})
     out = render_comparison(compare_documents(base, base))
@@ -398,6 +415,29 @@ def test_cli_bench_run_and_compare_round_trip(tmp_path, capsys):
     # Unreadable inputs are a usage error, not a crash.
     assert main(["bench", "compare", str(out_path),
                  str(tmp_path / "nope.json")]) == 2
+
+
+def test_cli_bench_compare_json_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    base = results.write(make_doc({"a": [1.0, 1.0, 1.0]}),
+                         tmp_path / "BENCH_base.json")
+    cur = results.write(make_doc({"a": [2.0, 2.0, 2.0]}),
+                        tmp_path / "BENCH_cur.json")
+    # --json PATH: human table on stdout plus the JSON verdict file.
+    verdict_path = tmp_path / "verdict.json"
+    assert main(["bench", "compare", str(cur), str(base),
+                 "--json", str(verdict_path)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and str(verdict_path) in out
+    verdict = json.loads(verdict_path.read_text())
+    assert verdict["ok"] is False
+    assert verdict["cases"]["a"]["status"] == "regression"
+    # --json -: machine-readable stdout, no human table.
+    assert main(["bench", "compare", str(cur), str(base), "--json", "-"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" not in out
+    assert json.loads(out)["exit_code"] == 1
 
 
 def test_cli_obs_report_renders_bench_document(tmp_path, capsys):

@@ -1,0 +1,279 @@
+"""Equivalence tests for the packet-engine fast path.
+
+The PR-4 optimisations (packet pooling, RTO timer coalescing, heap
+compaction, batched RNG) are *behaviour-preserving*: every one of them
+must be invisible to the simulation. These tests pin that down —
+property tests compare the optimised paths against their reference
+implementations under random schedules, cancellations, and network
+conditions, and a leak check proves the pool's lifecycle bookkeeping.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.net.events import Simulator
+from repro.net.network import Network
+from repro.net.queues import DropTailQueue
+from repro.net.rand import BatchedRandom
+from repro.units import mbps, ms
+
+# --------------------------------------------------------- event-order props
+
+
+def _run_program(sim: Simulator, program) -> list:
+    """Execute a random schedule/cancel program; returns the dispatch trace.
+
+    ``program`` is a list of (delay, n_children, cancel_index) triples:
+    one initial event per triple, whose callback schedules ``n_children``
+    follow-up events (handle-less posts and cancellable schedules
+    alternating) and cancels the pending handle at ``cancel_index``.
+    Everything is deterministic, so any two simulators given the same
+    program must produce byte-identical traces.
+    """
+    trace = []
+    handles = []
+
+    def fire(tag, n_children, cancel_index):
+        trace.append((round(sim.now, 9), tag))
+        for k in range(n_children):
+            child_tag = (tag, k)
+            delay = 0.25 * (k + 1)
+            if k % 2:
+                sim.post(delay, fire, child_tag, 0, -1)
+            else:
+                handles.append(
+                    sim.schedule(delay, fire, child_tag, 0, -1))
+        if handles and cancel_index >= 0:
+            handles[cancel_index % len(handles)].cancel()
+
+    for i, (delay, n_children, cancel_index) in enumerate(program):
+        handles.append(sim.schedule(delay, fire, i, n_children, cancel_index))
+    sim.run()
+    return trace
+
+
+program_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=4.0,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(0, 3),
+        st.integers(-1, 50),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(program=program_strategy)
+def test_compaction_preserves_execution_order(program):
+    """Aggressive heap compaction dispatches the exact event sequence the
+    never-compacting simulator does, including (time, tie-break) order."""
+    baseline = _run_program(
+        Simulator(seed=1, compact_fraction=None), program)
+    compacted_sim = Simulator(seed=1, compact_min_stubs=1,
+                              compact_fraction=0.0)
+    compacted = _run_program(compacted_sim, program)
+    assert compacted == baseline
+
+
+def test_compaction_actually_triggers_and_preserves_order():
+    """A cancel-heavy workload crosses the compaction threshold (so the
+    property above is not vacuous) and still dispatches in order."""
+    sim = Simulator(seed=1, compact_min_stubs=8, compact_fraction=0.25)
+    fired = []
+    # Enough live events to reach the probe cadence (checks fire once per
+    # 1024 dispatches) with cancelled stubs still dominating the heap.
+    handles = [sim.schedule(1.0 + i * 1e-6, fired.append, i)
+               for i in range(50_000)]
+    for i, h in enumerate(handles):
+        if i % 10:  # cancel 90%: stubs dominate the heap
+            h.cancel()
+    sim.schedule(2.0, fired.append, "last")
+    sim.run()
+    assert sim.heap_compactions > 0
+    assert fired == [i for i in range(50_000) if i % 10 == 0] + ["last"]
+
+
+def test_cancelled_stub_accounting_survives_compaction():
+    sim = Simulator(seed=1, compact_min_stubs=4, compact_fraction=0.1)
+    handles = [sim.schedule(1.0, lambda: None) for _ in range(64)]
+    for h in handles:
+        h.cancel()
+        h.cancel()  # idempotent: must not double-count
+    sim.run()
+    assert sim._cancelled_pending == 0
+    assert sim.pending() == 0
+
+
+# --------------------------------------------------------- batched RNG props
+
+rng_ops = st.lists(
+    st.sampled_from(["random", "expo_a", "expo_b", "pareto", "uniform"]),
+    min_size=1, max_size=300)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), ops=rng_ops)
+def test_batched_random_is_stream_identical(seed, ops):
+    """Any interleaving of facade draws yields the same values *and* the
+    same final generator state as direct scalar draws."""
+    direct = np.random.default_rng(seed)
+    batched_rng = np.random.default_rng(seed)
+    facade = BatchedRandom(batched_rng)
+    for op in ops:
+        if op == "random":
+            want, got = direct.random(), facade.random()
+        elif op == "expo_a":
+            want, got = direct.exponential(2.0), facade.exponential(2.0)
+        elif op == "expo_b":
+            want, got = direct.exponential(0.5), facade.exponential(0.5)
+        elif op == "pareto":
+            want, got = direct.pareto(1.5), facade.pareto(1.5)
+        else:
+            want, got = direct.uniform(1.0, 3.0), facade.uniform(1.0, 3.0)
+        assert got == want
+    facade.sync()
+    assert (batched_rng.bit_generator.state
+            == direct.bit_generator.state)
+
+
+# ----------------------------------------------------- pipe closed-form prop
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_compute_pipe_matches_reference(data):
+    """The closed-form pipe computation equals the per-sequence oracle for
+    every scoreboard state the sender can actually reach."""
+    net = Network(seed=1)
+    a, b = net.add_host("a"), net.add_host("b")
+    net.link(a, b, rate_bps=mbps(100), delay=ms(5))
+    conn = net.tcp_connection(net.route([a, b]), total_bytes=10_000)
+    sender = conn.subflows[0]
+
+    acked = data.draw(st.integers(0, 60), label="acked")
+    recover = acked + data.draw(st.integers(0, 60), label="recover_gap")
+    high = recover + data.draw(st.integers(0, 30), label="frontier_gap")
+    # SACKed seqs are strictly above the cumulative ACK point; outstanding
+    # retransmissions live in [acked, recover) and are disjoint from them.
+    sackable = list(range(acked + 1, high))
+    sacked = set(data.draw(st.lists(st.sampled_from(sackable), unique=True))
+                 if sackable else [])
+    retxable = [s for s in range(acked, recover) if s not in sacked]
+    retx = set(data.draw(st.lists(st.sampled_from(retxable), unique=True))
+               if retxable else [])
+    sender.acked = acked
+    sender.recover_point = recover
+    sender.high_water = high
+    sender._sacked = sacked
+    sender._retx_outstanding = retx
+    # _max_sacked never decreases, so it may exceed max(sacked) after the
+    # cumulative ACK point advanced past old SACK blocks.
+    floor = max(sacked) if sacked else -1
+    sender._max_sacked = floor + data.draw(st.integers(0, 5), label="stale")
+    sender._rto_recovery = data.draw(st.booleans(), label="rto")
+
+    assert sender._compute_pipe() == sender._compute_pipe_reference()
+
+
+# ------------------------------------------------- end-to-end knob equivalence
+
+def _transfer_outcome(seed, loss, queue, *, fastpath: bool):
+    """Run one lossy transfer; returns every behavioural observable."""
+    if fastpath:
+        net = Network(seed=seed)
+        conn_kwargs = {}
+    else:
+        net = Network(seed=seed, pooling=False, compact_fraction=None)
+        conn_kwargs = {"rto_coalesce": False}
+    a, b = net.add_host("a"), net.add_host("b")
+    s = net.add_switch("s")
+    net.link(a, s, rate_bps=mbps(50), delay=ms(2),
+             queue_factory=lambda: DropTailQueue(limit_packets=100))
+    net.link(s, b, rate_bps=mbps(20), delay=ms(8),
+             queue_factory=lambda: DropTailQueue(limit_packets=queue),
+             loss_rate=loss)
+    conn = net.tcp_connection(net.route([a, s, b]), total_bytes=400_000,
+                              delayed_acks=bool(seed % 2), **conn_kwargs)
+    conn.start()
+    net.run_until_complete([conn], timeout=600)
+    sf = conn.subflows[0]
+    return {
+        "completed": conn.completed,
+        "completion_time": conn.supply.completion_time,
+        "acked": sf.acked,
+        "packets_sent": sf.packets_sent,
+        "retransmitted": sf.retransmitted,
+        "fast_retransmits": sf.fast_retransmits,
+        "timeouts": sf.timeouts,
+        "loss_events": sf.loss_events,
+        "acks": sf.receiver.acks_sent,
+        "final_now": net.sim.now,
+    }
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    loss=st.floats(min_value=0.0, max_value=0.03),
+    queue=st.integers(6, 60),
+)
+def test_fastpath_knobs_are_behaviour_preserving(seed, loss, queue):
+    """Pooling + compaction + RTO coalescing produce *identical* dynamics
+    (times, counters, loss episodes) to the un-optimised paths under any
+    random loss/queue mix — the figure-level equivalence guarantee."""
+    fast = _transfer_outcome(seed, loss, queue, fastpath=True)
+    slow = _transfer_outcome(seed, loss, queue, fastpath=False)
+    assert fast == slow
+
+
+def test_pool_debug_detects_no_leaks_end_to_end():
+    """Under debug bookkeeping, a full lossy transfer (drops, random
+    losses, retransmissions) returns every pooled packet it issued."""
+    net = Network(seed=3, pool_debug=True)
+    a, b = net.add_host("a"), net.add_host("b")
+    s = net.add_switch("s")
+    net.link(a, s, rate_bps=mbps(50), delay=ms(2),
+             queue_factory=lambda: DropTailQueue(limit_packets=30))
+    net.link(s, b, rate_bps=mbps(20), delay=ms(5),
+             queue_factory=lambda: DropTailQueue(limit_packets=10),
+             loss_rate=0.01)
+    conn = net.tcp_connection(net.route([a, s, b]), total_bytes=400_000)
+    conn.start()
+    net.run_until_complete([conn], timeout=600)
+    assert conn.completed
+    net.sim.run()  # drain in-flight packets and stale timer ticks
+    assert net.sim.pool.reuses > 0
+    net.sim.pool.assert_drained()
+
+
+def test_pool_double_release_raises_in_debug_mode():
+    from repro.errors import SimulationError
+    from repro.net.packet import PacketPool
+
+    pool = PacketPool(debug=True)
+    pkt = pool.data(1, 0, (), None, 0.0)
+    pool.release(pkt)
+    with pytest.raises(SimulationError, match="double release"):
+        pool.release(pkt)
+
+
+def test_pool_leak_raises_in_debug_mode():
+    from repro.errors import SimulationError
+    from repro.net.packet import PacketPool
+
+    pool = PacketPool(debug=True)
+    pool.data(1, 0, (), None, 0.0)
+    with pytest.raises(SimulationError, match="leak"):
+        pool.assert_drained()
+
+
+def test_externally_built_packets_are_never_recycled():
+    from repro.net.packet import Packet, PacketPool
+
+    pool = PacketPool()
+    pkt = Packet.data(1, 0, (), None, 0.0)
+    pool.release(pkt)
+    assert len(pool) == 0

@@ -78,7 +78,7 @@ def test_sampler_stop_cancels_pending_event():
     assert sampler.stopped
     # The pending tick is cancelled immediately, not lazily skipped by
     # the sampler at fire time.
-    assert all(h.cancelled for _, _, h in sim._heap)
+    assert all(e[2] is not None and e[2].cancelled for e in sim._heap)
     sim.run(until=3.0)
     assert len(ticks) == 2
 

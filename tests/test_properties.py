@@ -89,7 +89,10 @@ def test_decomposition_psi_positive_and_finite(n, data):
     for name in ("lia", "olia", "balia", "ecmtcp", "ewtcp", "coupled", "dts"):
         psi = decomposition(name).psi(state)
         assert all(p > 0 for p in psi)
-        assert all(p < 1e12 for p in psi)
+        # ewtcp's psi reaches exactly 4*(w/rtt)^2 = 1e12 at the strategy
+        # corner (w=500, rtt=0.001), so the finiteness bound must sit
+        # strictly above the attainable extreme.
+        assert all(p < 1e13 for p in psi)
 
 
 @settings(max_examples=50, deadline=None)
