@@ -13,6 +13,10 @@ Direct invocation emits machine-readable results::
 
 from repro.bench.cases import (
     fluid_fattree_step_batch,
+    fluid_largescale_network,
+    fluid_largescale_step_batch,
+    fluid_step_kernel_setup,
+    fluid_step_kernel_steps,
     packet_retransmit,
     packet_transfer,
 )
@@ -32,6 +36,24 @@ def test_fluid_engine_throughput(benchmark):
     subflows = benchmark(fluid_fattree_step_batch)
     # Same-pod pairs have fewer than 4 ECMP paths, so slightly under 4x128.
     assert 450 <= subflows <= 512
+
+
+def test_fluid_largescale_throughput(benchmark):
+    subflows = benchmark.pedantic(
+        fluid_largescale_step_batch,
+        setup=lambda: ((fluid_largescale_network(),), {}),
+        rounds=3,
+    )
+    assert 3000 <= subflows <= 3456
+
+
+def test_fluid_step_kernel(benchmark):
+    calls = benchmark.pedantic(
+        fluid_step_kernel_steps,
+        setup=lambda: ((fluid_step_kernel_setup(),), {}),
+        rounds=5,
+    )
+    assert calls == 200
 
 
 def main(argv=None) -> int:

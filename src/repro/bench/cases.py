@@ -27,6 +27,10 @@ __all__ = [
     "campaign_specs",
     "counter_inc_cost",
     "fluid_fattree_step_batch",
+    "fluid_largescale_network",
+    "fluid_largescale_step_batch",
+    "fluid_step_kernel_setup",
+    "fluid_step_kernel_steps",
     "histogram_observe_cost",
     "null_span_cost",
     "packet_delack_churn",
@@ -175,6 +179,82 @@ def _engine_packet_delack_churn(ctx: BenchContext):
 def _engine_fluid_fattree(ctx: BenchContext):
     # Same-pod pairs have fewer than 4 ECMP paths, so slightly under 4x128.
     assert 450 <= fluid_fattree_step_batch() <= 512
+
+
+def fluid_largescale_network():
+    """Build (but do not run) the large-topology workload: a k=12
+    fat-tree permutation with 8 subflows per connection (~3300 subflows,
+    2592 links, routing density ~0.2%) — the regime the sparse routing
+    kernels exist for."""
+    from repro.fluidsim import FluidNetwork
+    from repro.topology import FatTree
+    from repro.units import ms
+    from repro.workloads.permutation import random_permutation_pairs
+
+    topo = FatTree(12, link_delay=ms(1))
+    net = FluidNetwork(topo, path_seed=1)
+    for src, dst in random_permutation_pairs(topo.hosts,
+                                             np.random.default_rng(1)):
+        net.add_connection(src, dst, "lia", n_subflows=8)
+    net.finalize()
+    return net
+
+
+def fluid_largescale_step_batch(net):
+    """500 fluid-model steps over a prebuilt large-scale network;
+    returns the subflow count."""
+    from repro.fluidsim import FluidSimulation
+
+    sim = FluidSimulation(net, dt=0.004, seed=1)
+    sim.run(2.0)
+    return net.n_subflows
+
+
+def fluid_step_kernel_setup():
+    """Build and warm a small fluid sim (k=4 fat-tree) so a subsequent
+    run measures the step kernel alone, not first-run buffer setup."""
+    from repro.fluidsim import FluidNetwork, FluidSimulation
+    from repro.topology import FatTree
+    from repro.units import ms
+    from repro.workloads.permutation import random_permutation_pairs
+
+    topo = FatTree(4, link_delay=ms(1))
+    net = FluidNetwork(topo, path_seed=1)
+    for src, dst in random_permutation_pairs(topo.hosts,
+                                             np.random.default_rng(1)):
+        net.add_connection(src, dst, "lia", n_subflows=4)
+    net.finalize()
+    sim = FluidSimulation(net, dt=0.004, seed=1)
+    sim.run(sim.dt)  # warm buffers and cohort views
+    return sim
+
+
+def fluid_step_kernel_steps(sim, n_calls: int = 200):
+    """``n_calls`` single-step ``run()`` calls on a warmed sim: isolates
+    per-step work plus per-run overhead (allocation, view rebuilds) with
+    no integration horizon to hide them. Returns steps taken."""
+    for _ in range(n_calls):
+        sim.run(sim.dt)
+    return n_calls
+
+
+@register("engine.fluid_largescale", suites=("tier1", "engine"),
+          description="500 fluid steps over a k=12 fat-tree (~3300 subflows, "
+                      "sparse kernel)",
+          setup=lambda ctx: setattr(ctx, "fluid_net",
+                                    fluid_largescale_network()))
+def _engine_fluid_largescale(ctx: BenchContext):
+    # 432 hosts x 8 subflows, minus same-pod pairs with fewer ECMP paths.
+    assert 3000 <= fluid_largescale_step_batch(ctx.fluid_net) <= 3456
+
+
+@register("engine.fluid_step_kernel", suites=("tier1", "engine"),
+          description="200 single-step fluid run() calls on a warmed k=4 "
+                      "fat-tree sim (allocation overhead micro)",
+          setup=lambda ctx: setattr(ctx, "fluid_sim",
+                                    fluid_step_kernel_setup()))
+def _engine_fluid_step_kernel(ctx: BenchContext):
+    assert fluid_step_kernel_steps(ctx.fluid_sim) == 200
 
 
 # ------------------------------------------------------------------ campaign

@@ -27,7 +27,10 @@ from repro.units import ms
 #: entry, so old entries become misses rather than stale hits.
 #: v2: payloads carry an "obs" metrics-registry snapshot and engine
 #: counters are derived from it.
-SCHEMA_VERSION = 2
+#: v3: the fluid engine clamps the trailing energy-integration window
+#: (runs whose step count is not a multiple of ``energy_sample_every``
+#: previously overcounted energy), so cached energies may differ.
+SCHEMA_VERSION = 3
 
 #: Topologies a RunSpec can name (the paper's datacenter fabrics).
 KNOWN_TOPOLOGIES = ("bcube", "fattree", "vl2")

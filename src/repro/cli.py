@@ -145,6 +145,19 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
                         help="seeds averaged per point (default: 1 2)")
     parser.add_argument("--subflows", type=int, nargs="+", default=None,
                         help="subflow counts swept (default: 1 2 4 8)")
+    parser.add_argument("--legacy-fluid", action="store_true",
+                        help="integrate on the legacy reference loop "
+                             "(fast_path=False; bit-identical results — "
+                             "for equivalence checks and debugging)")
+
+
+def _apply_legacy_fluid(campaign, args) -> None:
+    """Rewrite a campaign's runs to request the legacy fluid loop."""
+    if getattr(args, "legacy_fluid", False):
+        campaign.runs = [
+            r.replace(params={**r.params, "fast_path": False})
+            for r in campaign.runs
+        ]
 
 
 def build_campaign_parser() -> argparse.ArgumentParser:
@@ -270,6 +283,7 @@ def _campaign_main(argv: List[str]) -> int:
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    _apply_legacy_fluid(campaign, args)
 
     _, telemetry, executor, log_path = _campaign_plumbing(args)
     return _run_campaign_specs(campaign, executor, telemetry, log_path)
@@ -296,6 +310,7 @@ def _sweep_main(argv: List[str]) -> int:
     except (ConfigurationError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    _apply_legacy_fluid(campaign, args)
 
     _, telemetry, executor, log_path = _campaign_plumbing(args)
     return _run_campaign_specs(campaign, executor, telemetry, log_path)

@@ -16,6 +16,29 @@ Each step of length ``dt``:
    plus any algorithm-specific adjustment (wVegas/DCTCP/extended-DTS);
 6. host and switch power are evaluated on the sampled state and integrated
    into energy (Eq. 2).
+
+Two implementations of the step loop coexist. The **legacy path**
+(``fast_path=False``) is the straight-line transcription above and serves
+as the reference oracle. The default **fast path** is bit-identical to it
+— same floating-point results, same RNG stream, same trace events — but
+precomputes structure once and keeps the loop body allocation-light:
+
+* the routing products run through gather + ``np.bincount`` kernels over
+  the :class:`~repro.fluidsim.network.RoutingPlan` index arrays (scipy's
+  CSR matvec and ``bincount`` both accumulate sequentially in storage
+  order, so the results match bit for bit), falling back to the stored
+  scipy operators when the matrix is dense or carries non-unit weights;
+* every per-step temporary lives in a preallocated buffer reused across
+  steps (``out=`` ufunc forms, ``np.copyto`` masking);
+* ``np.add.at`` on ``delivered_bits`` becomes a seeded-head ``bincount``
+  fold over a precomputed index vector;
+* cohort state is served through persistent slice views instead of
+  per-step fancy-indexed copies;
+* the per-step loss uniforms are prefetched in blocks through
+  :class:`~repro.net.rand.UniformBlocks`, consuming the generator stream
+  exactly as the scalar-per-step draws would.
+
+``tests/test_fluid_fastpath.py`` enforces the equivalence property-wise.
 """
 
 from __future__ import annotations
@@ -30,10 +53,32 @@ import repro.obs as obs
 from repro.energy.cpu import HostPowerModel, default_wired_host
 from repro.energy.switch import SwitchPowerModel
 from repro.errors import ConfigurationError
+from repro.fluidsim.adapters import FluidAlgorithm
 from repro.fluidsim.network import FluidNetwork
 from repro.fluidsim.state import CohortState
+from repro.net.rand import UniformBlocks
+
+try:  # scipy's raw CSR matvec: y += A @ x into a preallocated vector.
+    # This is the very routine scipy.sparse dispatches `R @ x` to, so
+    # using it directly is bit-identical to the legacy operator while
+    # skipping ~6 layers of python dispatch per product. Guarded because
+    # it is a private module; the pure-numpy kernels below take over if
+    # it ever moves.
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+    _csr_matvec = _scipy_sparsetools.csr_matvec
+except Exception:  # pragma: no cover - depends on scipy internals
+    _csr_matvec = None
 
 _EPS = 1e-12
+
+#: Valid values of the ``sparse_routing`` knob.
+_SPARSE_MODES = ("auto", "always", "never")
+#: Above this routing-matrix density the scipy product wins ("auto" mode
+#: keeps the dense operator; gather+bincount shines on fat-tree-like
+#: fabrics whose density sits well below 1%).
+_SPARSE_DENSITY_THRESHOLD = 0.25
+#: Steps of loss uniforms prefetched per RNG block on the fast path.
+_RNG_BLOCK_STEPS = 64
 
 
 @dataclass
@@ -79,8 +124,81 @@ class SimulationResult:
         return self.total_energy_j / delivered_gb
 
 
+class _FastBuffers:
+    """Preallocated per-step work arrays for the fast path.
+
+    One instance per simulation, sized once from the network; every step
+    of :meth:`FluidSimulation._run_fast` writes into these with ``out=``
+    forms instead of allocating temporaries.
+    """
+
+    __slots__ = (
+        "x_pkts", "x_bps", "qdelay", "p_path", "marked_path", "lam",
+        "sub_tmp", "can_lose", "lt", "losing",
+        "y", "overload", "link_tmp", "denom", "ratio", "p_link",
+        "marked_link", "util", "qc", "full", "lossy", "mark_bool",
+        "full_threshold",
+        "nnz", "fold_idx", "fold_w", "fold_head", "delivered",
+    )
+
+    def __init__(self, net: FluidNetwork, nnz: Optional[int]):
+        n = net.n_subflows
+        n_links = net.n_links
+        n_conns = len(net.connections)
+        self.y = np.empty(n_links)
+        self.x_pkts = np.empty(n)
+        self.x_bps = np.empty(n)
+        self.qdelay = np.empty(n)
+        self.p_path = np.empty(n)
+        self.marked_path = np.empty(n)
+        self.lam = np.empty(n)
+        self.sub_tmp = np.empty(n)
+        self.can_lose = np.empty(n, dtype=bool)
+        self.lt = np.empty(n, dtype=bool)
+        self.losing = np.empty(n, dtype=bool)
+        self.overload = np.empty(n_links)
+        self.link_tmp = np.empty(n_links)
+        self.denom = np.empty(n_links)
+        self.ratio = np.empty(n_links)
+        self.p_link = np.empty(n_links)
+        self.marked_link = np.empty(n_links)
+        self.util = np.empty(n_links)
+        self.qc = np.empty(n_links)
+        self.full = np.empty(n_links, dtype=bool)
+        self.lossy = np.empty(n_links, dtype=bool)
+        self.mark_bool = np.empty(n_links, dtype=bool)
+        #: buffer_bits * 0.999 hoisted out of the loop (the product is
+        #: deterministic, so precomputing preserves bit-identity).
+        self.full_threshold = net.buffer_bits * 0.999
+        #: Scratch for the gathered-nonzero stage of the routing kernels
+        #: (R and R.T share an nnz count).
+        self.nnz = np.empty(nnz) if nnz is not None else None
+        # Seeded-head bincount fold replacing np.add.at on delivered_bits:
+        # the fold input lists each connection's current total first, then
+        # every subflow's delivery in storage order, so each bin
+        # accumulates 0 + total + deliveries — the exact sequential order
+        # np.add.at would have used.
+        self.fold_idx = np.concatenate([
+            np.arange(n_conns, dtype=np.intp),
+            net.subflow_conn.astype(np.intp),
+        ])
+        self.fold_w = np.empty(n_conns + n)
+        self.fold_head = self.fold_w[:n_conns]
+        self.delivered = self.fold_w[n_conns:]
+
+
 class FluidSimulation:
-    """Integrates a finalized :class:`FluidNetwork`."""
+    """Integrates a finalized :class:`FluidNetwork`.
+
+    ``fast_path`` selects the preallocated/kernelized step loop (default);
+    ``fast_path=False`` runs the legacy reference loop. Both produce
+    bit-identical results. ``sparse_routing`` controls the routing-product
+    kernel on the fast path: ``"auto"`` uses the gather+bincount kernels
+    when the routing matrix has unit weights and density at most
+    ``_SPARSE_DENSITY_THRESHOLD``; ``"always"`` forces them whenever the
+    weights are unit (non-unit weights always fall back — the kernels
+    would be wrong); ``"never"`` keeps the scipy operators.
+    """
 
     def __init__(
         self,
@@ -95,14 +213,43 @@ class FluidSimulation:
         energy_sample_every: int = 10,
         metrics: Optional["obs.MetricsRegistry"] = None,
         tracer=None,
+        fast_path: bool = True,
+        sparse_routing: str = "auto",
     ):
         if network.base_rtt is None:
             raise ConfigurationError("finalize() the FluidNetwork before simulating")
         if dt <= 0:
             raise ConfigurationError(f"dt must be positive, got {dt}")
+        if sparse_routing not in _SPARSE_MODES:
+            raise ConfigurationError(
+                f"sparse_routing must be one of {_SPARSE_MODES}, "
+                f"got {sparse_routing!r}")
         self.net = network
         self.dt = dt
         self.rng = np.random.default_rng(seed)
+        self.fast_path = bool(fast_path)
+        self.sparse_routing = sparse_routing
+        plan = getattr(network, "routing_plan", None)
+        self._plan = plan
+        self._use_sparse = bool(
+            sparse_routing != "never"
+            and plan is not None
+            and plan.unit_weights
+            and (sparse_routing == "always"
+                 or plan.density <= _SPARSE_DENSITY_THRESHOLD)
+        )
+        #: Which routing-product kernel the fast path will run:
+        #: ``"csr_matvec"`` (raw scipy sparsetools call), ``"bincount"``
+        #: (pure-numpy gather+bincount), or ``"dense"`` (the stored scipy
+        #: operators, also what the legacy path uses).
+        if not self._use_sparse:
+            self.kernel = "dense"
+        elif _csr_matvec is not None:
+            self.kernel = "csr_matvec"
+        else:  # pragma: no cover - depends on scipy internals
+            self.kernel = "bincount"
+        #: Fast-path work arrays, allocated on first _run_fast().
+        self._buffers: Optional[_FastBuffers] = None
         # Registry-backed run counters (read by campaign telemetry for
         # steps/second without instrumenting callers) plus the per-step
         # probe instruments; :attr:`steps_taken` / :attr:`wall_time_s`
@@ -180,6 +327,15 @@ class FluidSimulation:
 
     def run(self, duration: float) -> SimulationResult:
         """Integrate for ``duration`` seconds and return the results."""
+        if self.fast_path:
+            return self._run_fast(duration)
+        return self._run_legacy(duration)
+
+    # ---------------------------------------------------------- legacy path
+
+    def _run_legacy(self, duration: float) -> SimulationResult:
+        """Reference step loop: straight-line, allocating, oracle for the
+        fast path's equivalence tests."""
         wall_start = time.perf_counter()
         net = self.net
         n_steps = max(1, int(round(duration / self.dt)))
@@ -272,10 +428,14 @@ class FluidSimulation:
 
                 # Energy + obs probes (sampled every few steps for speed).
                 if step % self.energy_sample_every == 0:
+                    # Clamp the final window: the sample stands in for the
+                    # remaining steps, which may be fewer than a full
+                    # sampling interval.
+                    window = min(self.energy_sample_every, n_steps - step)
                     host_p = self._host_power_now(x_bps)
                     switch_p = self._switch_power_now(util)
-                    host_energy += host_p * dt * self.energy_sample_every
-                    switch_energy += switch_p * dt * self.energy_sample_every
+                    host_energy += host_p * dt * window
+                    switch_energy += switch_p * dt * window
                     samples_t.append(now)
                     samples_goodput.append(float(np.sum(x_bps * (1.0 - p_path))))
                     samples_power.append(host_p + switch_p)
@@ -293,6 +453,298 @@ class FluidSimulation:
                     else:
                         residual = float("nan")
                     self._prev_w = self.w.copy()
+                    if traced:
+                        tracer.instant(
+                            "fluid.step", step=step, sim_now=round(now, 6),
+                            rate_norm_bps=rate_norm, residual=residual,
+                            power_w=host_p + switch_p)
+        finally:
+            probe_span.__exit__(None, None, None)
+            self._steps_counter.inc(steps_done)
+            self._wall_counter.inc(time.perf_counter() - wall_start)
+        goodput = self.delivered_bits / duration
+        return SimulationResult(
+            duration=duration,
+            connection_goodput_bps=goodput,
+            connection_bits=self.delivered_bits.copy(),
+            host_energy_j=host_energy,
+            switch_energy_j=switch_energy,
+            loss_events=self.loss_events.copy(),
+            mean_rtt=rtt_accum / n_steps,
+            mean_utilization=util_accum / n_steps,
+            sample_times=samples_t,
+            sample_goodput_bps=samples_goodput,
+            sample_power_w=samples_power,
+        )
+
+    # ------------------------------------------------------------ fast path
+
+    def _build_cohort_views(self, b: _FastBuffers):
+        """Persistent per-cohort :class:`CohortState`\\ s viewing the
+        engine buffers.
+
+        Cohort ids are contiguous ranges (finalize assigns them
+        sequentially), so each view is a slice — rebuilt per run, not per
+        step, because a legacy run in between may have rebound
+        ``self.rtt``. Non-contiguous cohorts (not produced by any in-tree
+        builder) fall back to per-step fancy-indexed copies.
+        """
+        views = []
+        net = self.net
+        base_adj = FluidAlgorithm.rate_adjustment
+        for cohort in net.cohorts:
+            ids = cohort.ids
+            sl = None
+            if len(ids) and ids[-1] - ids[0] == len(ids) - 1 \
+                    and np.array_equal(ids, np.arange(ids[0], ids[-1] + 1)):
+                sl = slice(int(ids[0]), int(ids[-1]) + 1)
+            if sl is not None:
+                st = CohortState(
+                    w=self.w[sl],
+                    rtt=self.rtt[sl],
+                    base_rtt=net.base_rtt[sl],
+                    loss=b.p_path[sl],
+                    queueing=b.qdelay[sl],
+                    switch_hops=net.switch_hops[sl],
+                    ecn_marked=b.marked_path[sl],
+                    user_starts=cohort.user_starts,
+                    user_of=cohort.user_of,
+                    x=b.x_pkts[sl],
+                )
+            else:  # pragma: no cover - defensive fallback
+                st = None
+            # Algorithms still on the base-class rate_adjustment return
+            # all-zeros; adding that is the identity on the eventual
+            # st.w + dw (w >= 1, so the sign of a zero dw cannot show),
+            # and skipping the call + add is safe.
+            has_adj = type(cohort.algorithm).rate_adjustment is not base_adj
+            views.append((cohort, st, sl, np.empty(len(ids)), has_adj))
+        return views
+
+    def _run_fast(self, duration: float) -> SimulationResult:
+        """Allocation-light step loop, bit-identical to :meth:`_run_legacy`."""
+        wall_start = time.perf_counter()
+        net = self.net
+        n_steps = max(1, int(round(duration / self.dt)))
+        dt = self.dt
+        pkt_bits = net.packet_bits
+        cap = net.capacity
+        buf = net.buffer_bits
+        R = net.routing
+        Rt = net.routing_t
+        inv_cap = 1.0 / cap
+        n = len(self.w)
+        n_links = net.n_links
+        n_conns = len(net.connections)
+
+        if self._buffers is None:
+            self._buffers = _FastBuffers(
+                net, self._plan.nnz if self.kernel == "bincount" else None)
+        b = self._buffers
+        plan = self._plan
+        views = self._build_cohort_views(b)
+
+        # Routing-product kernels, all bit-identical to the legacy
+        # ``R @ x`` / ``Rt @ v`` (csr_matvec IS the routine those
+        # dispatch to; bincount accumulates in the same sequential
+        # order; dense delegates to the operators themselves).
+        kernel = self.kernel
+        if kernel == "csr_matvec":
+            Rp, Ri, Rx = R.indptr, R.indices, R.data
+            Tp, Ti, Tx = Rt.indptr, Rt.indices, Rt.data
+
+            def mul_R(x, out):
+                out.fill(0.0)
+                _csr_matvec(n_links, n, Rp, Ri, Rx, x, out)
+
+            def mul_Rt(v, out):
+                out.fill(0.0)
+                _csr_matvec(n, n_links, Tp, Ti, Tx, v, out)
+        elif kernel == "bincount":  # pragma: no cover - scipy-internal fallback
+            def mul_R(x, out):
+                np.take(x, plan.sub_gather, out=b.nnz)
+                np.copyto(out, np.bincount(
+                    plan.link_of_nnz, weights=b.nnz, minlength=n_links))
+
+            def mul_Rt(v, out):
+                np.take(v, plan.link_gather, out=b.nnz)
+                np.copyto(out, np.bincount(
+                    plan.sub_of_nnz, weights=b.nnz, minlength=n))
+        else:
+            def mul_R(x, out):
+                np.copyto(out, R @ x)
+
+            def mul_Rt(v, out):
+                np.copyto(out, Rt @ v)
+        # Loss uniforms, prefetched in blocks. total_rows == n_steps, so
+        # the generator's final state matches the scalar-per-step path.
+        uniforms = UniformBlocks(self.rng, n, n_steps,
+                                 rows_per_block=_RNG_BLOCK_STEPS)
+
+        rtt_accum = np.zeros_like(self.w)
+        util_accum = np.zeros(n_links)
+        host_energy = 0.0
+        switch_energy = 0.0
+        samples_t: List[float] = []
+        samples_goodput: List[float] = []
+        samples_power: List[float] = []
+
+        tracer = self.tracer
+        traced = tracer.enabled
+        probe_span = tracer.span("fluid.run", duration=duration,
+                                 n_steps=n_steps, n_subflows=n)
+        probe_span.__enter__()
+        now = 0.0
+        steps_done = 0
+        ese = self.energy_sample_every
+        try:
+            for step in range(n_steps):
+                now = (step + 1) * dt
+                np.divide(self.w, self.rtt, out=b.x_pkts)
+                np.multiply(b.x_pkts, pkt_bits, out=b.x_bps)
+                mul_R(b.x_bps, b.y)
+                y = b.y
+                # Queues and loss.
+                np.subtract(y, cap, out=b.overload)
+                np.multiply(b.overload, dt, out=b.link_tmp)
+                np.add(self.queue_bits, b.link_tmp, out=self.queue_bits)
+                np.clip(self.queue_bits, 0.0, buf, out=self.queue_bits)
+                np.greater_equal(self.queue_bits, b.full_threshold, out=b.full)
+                np.greater(b.overload, 0, out=b.lossy)
+                np.logical_and(b.lossy, b.full, out=b.lossy)
+                # Zero-loss shortcut: most steps drop nothing, and with
+                # p_link == 0 the whole loss pipeline collapses exactly —
+                # p_path = min(Rt@0, .5) = 0, delivered = x*(1-0)*dt =
+                # x*dt bit-for-bit (x*1.0 == x), loss probability
+                # 1-exp(-0) = 0 so no subflow can lose. Only the RNG row
+                # must still be consumed to keep the stream aligned.
+                lossy_step = bool(b.lossy.any())
+                if lossy_step:
+                    np.maximum(y, _EPS, out=b.denom)
+                    np.divide(b.overload, b.denom, out=b.ratio)
+                    b.p_link.fill(0.0)
+                    np.copyto(b.p_link, b.ratio, where=b.lossy)
+                np.greater(self.queue_bits, self.ecn_threshold_bits,
+                           out=b.mark_bool)
+                np.copyto(b.marked_link, b.mark_bool, casting="unsafe")
+                # Per-subflow path state.
+                np.multiply(self.queue_bits, inv_cap, out=b.qc)
+                mul_Rt(b.qc, b.qdelay)
+                if lossy_step:
+                    mul_Rt(b.p_link, b.p_path)
+                    np.minimum(b.p_path, 0.5, out=b.p_path)
+                else:
+                    b.p_path.fill(0.0)
+                mul_Rt(b.marked_link, b.marked_path)
+                np.minimum(b.marked_path, 1.0, out=b.marked_path)
+                np.add(net.base_rtt, b.qdelay, out=self.rtt)
+                np.multiply(y, inv_cap, out=b.util)
+                np.minimum(b.util, 1.0, out=b.util)
+
+                # delivered = x_bps * (1 - p_path) * dt, folded into
+                # delivered_bits via the seeded-head bincount plan.
+                if lossy_step:
+                    np.subtract(1.0, b.p_path, out=b.sub_tmp)
+                    np.multiply(b.x_bps, b.sub_tmp, out=b.sub_tmp)
+                    np.multiply(b.sub_tmp, dt, out=b.delivered)
+                    goodput_now = b.sub_tmp
+                else:
+                    np.multiply(b.x_bps, dt, out=b.delivered)
+                    goodput_now = b.x_bps
+                np.copyto(b.fold_head, self.delivered_bits)
+                np.copyto(self.delivered_bits,
+                          np.bincount(b.fold_idx, weights=b.fold_w,
+                                      minlength=n_conns))
+
+                # Loss events: Poisson thinning, suppressed during recovery.
+                u = uniforms.next_row()
+                if lossy_step:
+                    np.multiply(b.p_path, b.x_pkts, out=b.lam)
+                    np.greater_equal(now, self.recovery_until, out=b.can_lose)
+                    np.negative(b.lam, out=b.lam)
+                    np.multiply(b.lam, dt, out=b.lam)
+                    np.exp(b.lam, out=b.lam)
+                    np.subtract(1.0, b.lam, out=b.lam)  # lam now holds prob
+                    np.less(u, b.lam, out=b.lt)
+                    np.logical_and(b.can_lose, b.lt, out=b.losing)
+
+                # Refresh the rate views with the *updated* RTT: the
+                # legacy loop's CohortState recomputes w/rtt lazily after
+                # the rtt assignment above, so the algorithms see
+                # current-step queueing delay, while everything up to the
+                # loss draw used start-of-step rates.
+                np.divide(self.w, self.rtt, out=b.x_pkts)
+
+                # Per-cohort CC updates through the persistent views.
+                for cohort, st, sl, dw, has_adj in views:
+                    if st is None:  # pragma: no cover - defensive fallback
+                        ids = cohort.ids
+                        st = CohortState(
+                            w=self.w[ids], rtt=self.rtt[ids],
+                            base_rtt=net.base_rtt[ids], loss=b.p_path[ids],
+                            queueing=b.qdelay[ids],
+                            switch_hops=net.switch_hops[ids],
+                            ecn_marked=b.marked_path[ids],
+                            user_starts=cohort.user_starts,
+                            user_of=cohort.user_of)
+                    algorithm = cohort.algorithm
+                    increase = algorithm.per_ack_increase(st)
+                    np.multiply(increase, st.x_pkts, out=dw)
+                    np.multiply(dw, dt, out=dw)
+                    if has_adj:
+                        np.add(dw, algorithm.rate_adjustment(st, dt), out=dw)
+                    np.add(st.w, dw, out=dw)  # dw now holds new_w
+                    new_w = dw
+                    any_lose = False
+                    if lossy_step:
+                        ids = cohort.ids
+                        lose_here = (b.losing[sl] if sl is not None
+                                     else b.losing[ids])
+                        if algorithm.uses_ecn:
+                            lose_here = lose_here & (st.loss > 0)
+                        any_lose = bool(np.any(lose_here))
+                    if any_lose:
+                        factor = algorithm.loss_decrease_factor(st)
+                        new_w = np.where(lose_here, st.w * factor, new_w)
+                    if sl is not None:
+                        np.maximum(new_w, 1.0, out=self.w[sl])
+                    else:  # pragma: no cover - defensive fallback
+                        self.w[cohort.ids] = np.maximum(new_w, 1.0)
+                    if any_lose:
+                        gids = ids[lose_here]
+                        self.loss_events[gids] += 1
+                        self.recovery_until[gids] = now + self.rtt[gids]
+
+                rtt_accum += self.rtt
+                util_accum += b.util
+                steps_done += 1
+
+                # Energy + obs probes (sampled every few steps for speed).
+                if step % ese == 0:
+                    # Clamp the final window: the sample stands in for the
+                    # remaining steps, which may be fewer than a full
+                    # sampling interval.
+                    window = min(ese, n_steps - step)
+                    host_p = self._host_power_now(b.x_bps)
+                    switch_p = self._switch_power_now(b.util)
+                    host_energy += host_p * dt * window
+                    switch_energy += switch_p * dt * window
+                    samples_t.append(now)
+                    # goodput_now holds x_bps * (1 - p_path) elementwise
+                    # (== x_bps itself on zero-loss steps).
+                    samples_goodput.append(float(np.sum(goodput_now)))
+                    samples_power.append(host_p + switch_p)
+                    rate_norm = float(np.linalg.norm(b.x_bps))
+                    self._rate_norm_hist.observe(rate_norm)
+                    if self._prev_w is not None and len(self._prev_w) == n:
+                        denom = float(np.linalg.norm(self._prev_w))
+                        residual = float(
+                            np.linalg.norm(self.w - self._prev_w) / (denom + _EPS))
+                        self._residual_gauge.set(residual)
+                        np.copyto(self._prev_w, self.w)
+                    else:
+                        residual = float("nan")
+                        self._prev_w = self.w.copy()
                     if traced:
                         tracer.instant(
                             "fluid.step", step=step, sim_now=round(now, 6),

@@ -14,6 +14,69 @@ from repro.topology.base import DcTopology, PathSpec
 from repro.units import DEFAULT_PACKET_BYTES
 
 
+@dataclass(frozen=True)
+class RoutingPlan:
+    """CSR-derived gather/scatter index arrays for the engine fast path.
+
+    The routing matrix of a fat-tree-style fabric is overwhelmingly
+    sparse (k=8: ~0.8% dense), and all structural nonzeros are exactly
+    1.0, so both hot products of the step loop reduce to gathers plus
+    segmented sums::
+
+        y = R  @ x   ->  y[l] = sum of x[s] over s on link l
+        z = R.T @ v  ->  z[s] = sum of v[l] over l on subflow s
+
+    The engine evaluates them with ``np.take`` into a preallocated
+    buffer followed by ``np.bincount`` over these precomputed index
+    arrays. ``bincount`` is the one segmented reduction in numpy that
+    accumulates *sequentially in input order* — the same order scipy's
+    CSR matvec uses — so the kernel results are bit-identical to the
+    ``R @ x`` reference (``np.add.reduceat`` is not: it reduces large
+    segments pairwise and rounds differently).
+    """
+
+    n_links: int
+    n_subflows: int
+    nnz: int
+    #: nnz / (links * subflows); drives the auto sparse/dense choice.
+    density: float
+    #: True when every stored value is exactly 1.0 (a path never
+    #: repeats a link). The unit-weight kernels are only valid then.
+    unit_weights: bool
+    #: Link index of every nonzero, link-major (CSR row order of R).
+    link_of_nnz: np.ndarray
+    #: Subflow to gather from, aligned with :attr:`link_of_nnz`.
+    sub_gather: np.ndarray
+    #: Subflow index of every nonzero, subflow-major (CSR rows of R.T).
+    sub_of_nnz: np.ndarray
+    #: Link to gather from, aligned with :attr:`sub_of_nnz`.
+    link_gather: np.ndarray
+
+    @classmethod
+    def from_routing(cls, routing: sparse.csr_matrix,
+                     routing_t: sparse.csr_matrix) -> "RoutingPlan":
+        """Build the plan from the finalized routing matrix pair."""
+        for m in (routing, routing_t):
+            if not m.has_sorted_indices:  # pragma: no cover - csr is canonical
+                m.sort_indices()
+        n_links, n_subflows = routing.shape
+        nnz = int(routing.nnz)
+        cells = n_links * n_subflows
+        return cls(
+            n_links=n_links,
+            n_subflows=n_subflows,
+            nnz=nnz,
+            density=nnz / cells if cells else 0.0,
+            unit_weights=bool(np.all(routing.data == 1.0)),
+            link_of_nnz=np.repeat(np.arange(n_links, dtype=np.intp),
+                                  np.diff(routing.indptr)),
+            sub_gather=routing.indices.astype(np.intp),
+            sub_of_nnz=np.repeat(np.arange(n_subflows, dtype=np.intp),
+                                 np.diff(routing_t.indptr)),
+            link_gather=routing_t.indices.astype(np.intp),
+        )
+
+
 @dataclass
 class Cohort:
     """All subflows sharing one algorithm instance (users contiguous)."""
@@ -78,6 +141,7 @@ class FluidNetwork:
         # Filled by finalize():
         self.routing: Optional[sparse.csr_matrix] = None  # links x subflows
         self.routing_t: Optional[sparse.csr_matrix] = None
+        self.routing_plan: Optional[RoutingPlan] = None
         self.base_rtt: Optional[np.ndarray] = None
         self.switch_hops: Optional[np.ndarray] = None
         self.subflow_conn: Optional[np.ndarray] = None
@@ -190,6 +254,7 @@ class FluidNetwork:
             (data, (rows, cols)), shape=(len(links), n_subflows)
         )
         self.routing_t = self.routing.T.tocsr()
+        self.routing_plan = RoutingPlan.from_routing(self.routing, self.routing_t)
         self.base_rtt = np.array(base_rtt)
         self.switch_hops = np.array(switch_hops)
         self.subflow_conn = np.array(subflow_conn, dtype=np.int64)

@@ -4,11 +4,19 @@ Subflows belonging to one congestion-control *cohort* (all connections
 running the same algorithm) are stored contiguously, grouped by user
 (connection), so per-user aggregates — sum of rates, max window, etc. —
 are single ``np.maximum.reduceat`` / ``np.add.reduceat`` calls.
+
+State arrays are **read-only** from the algorithms' point of view. The
+engine's legacy path hands each algorithm fresh fancy-indexed copies, but
+the fast path hands out *views* into the engine's persistent buffers and
+reuses one :class:`CohortState` instance for an entire run — an adapter
+that wrote into ``w``/``rtt``/… would corrupt the integrator state. All
+in-tree adapters honour this; new ones must too.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -35,10 +43,21 @@ class CohortState:
     user_starts: np.ndarray
     #: User index of every subflow (0..n_users-1, non-decreasing).
     user_of: np.ndarray
+    #: Optional precomputed rates w/rtt (engine fast path): the engine
+    #: already divides the full vectors once per step, so cohort views
+    #: can reuse that result instead of re-dividing per cohort.
+    x: Optional[np.ndarray] = None
+    #: Cached :meth:`user_count` result — purely structural (depends only
+    #: on the grouping arrays), so safe to cache per instance even when
+    #: the instance is reused across steps.
+    _user_count: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def x_pkts(self) -> np.ndarray:
         """Rates x_r = w_r / RTT_r in segments/second."""
+        if self.x is not None:
+            return self.x
         return self.w / self.rtt
 
     # ----------------------------------------------------- user reductions
@@ -60,5 +79,7 @@ class CohortState:
 
     def user_count(self) -> np.ndarray:
         """Per-user subflow counts |s|, broadcast back to subflow shape."""
-        counts = np.add.reduceat(np.ones_like(self.w), self.user_starts)
-        return counts[self.user_of]
+        if self._user_count is None:
+            counts = np.add.reduceat(np.ones_like(self.w), self.user_starts)
+            self._user_count = counts[self.user_of]
+        return self._user_count

@@ -1,0 +1,290 @@
+"""Equivalence tests for the fluid-engine fast path.
+
+The PR-5 optimisations (sparse routing kernels, preallocated step
+buffers, chunked RNG) are *behaviour-preserving*: with the same network,
+seed, and knobs, ``fast_path=True`` must produce bit-identical results
+to the legacy reference loop — every ``SimulationResult`` array, the
+``fluid.residual`` gauge, the ``fluid.step`` trace instants, and the
+final RNG state. These tests pin that down under random topologies,
+algorithm mixes, seeds, and knob combinations, and also cover the
+kernel-selection logic and the chunked-RNG facade in isolation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.fluidsim.engine as engine_mod
+import repro.obs as obs
+from repro.errors import ConfigurationError
+from repro.fluidsim import FluidNetwork, FluidSimulation
+from repro.fluidsim.network import RoutingPlan
+from repro.net.rand import UniformBlocks
+from repro.topology import FatTree
+from repro.units import ms
+
+# ------------------------------------------------------------------ helpers
+
+#: Algorithm pool for random cohort mixes (aliases included on purpose —
+#: they must land in the same cohort as their canonical name).
+ALGORITHMS = ["reno", "ewtcp", "coupled", "lia", "olia", "balia",
+              "ecmtcp", "wvegas", "dctcp", "dts", "dts-ext"]
+
+
+def _build_net(pair_seed: int, algo_picks, n_subflows: int) -> FluidNetwork:
+    """A small fat-tree network with len(algo_picks) random connections.
+
+    Each call with the same arguments builds an identical network; a
+    fresh one is needed per simulation because algorithm adapters may
+    hold per-run state (e.g. DCTCP's alpha estimator).
+    """
+    topo = FatTree(4, link_delay=ms(1))
+    rng = np.random.default_rng(pair_seed)
+    hosts = list(topo.hosts)
+    net = FluidNetwork(topo, path_seed=pair_seed)
+    for algo in algo_picks:
+        src, dst = rng.choice(len(hosts), size=2, replace=False)
+        net.add_connection(hosts[int(src)], hosts[int(dst)], algo,
+                           n_subflows=n_subflows)
+    net.finalize()
+    return net
+
+
+def _run(net: FluidNetwork, *, fast_path: bool, seed: int, n_steps: int,
+         energy_sample_every: int = 10, sparse_routing: str = "auto"):
+    """Run one sim; returns (result, registry snapshot, fluid.step records,
+    final RNG state)."""
+    registry = obs.MetricsRegistry()
+    tracer = obs.Tracer()
+    dt = 0.004
+    sim = FluidSimulation(net, dt=dt, seed=seed, metrics=registry,
+                          tracer=tracer, fast_path=fast_path,
+                          sparse_routing=sparse_routing,
+                          energy_sample_every=energy_sample_every)
+    res = sim.run(n_steps * dt)
+    steps = [r for r in tracer.records if r["name"] == "fluid.step"]
+    return res, registry.snapshot(), steps, sim.rng.bit_generator.state
+
+
+def _assert_bit_identical(got, want):
+    """Every SimulationResult field byte-identical (floats compared as
+    bits, not approximately)."""
+    assert got.duration == want.duration
+    for name in ("connection_goodput_bps", "connection_bits", "loss_events",
+                 "mean_rtt", "mean_utilization"):
+        g, w = getattr(got, name), getattr(want, name)
+        assert g.tobytes() == w.tobytes(), f"{name} differs"
+    for name in ("host_energy_j", "switch_energy_j"):
+        assert getattr(got, name) == getattr(want, name), f"{name} differs"
+    for name in ("sample_times", "sample_goodput_bps", "sample_power_w"):
+        assert getattr(got, name) == getattr(want, name), f"{name} differs"
+
+
+def _eq_args(a: dict, b: dict) -> bool:
+    """Dict equality where nan == nan (residual is nan on step 0)."""
+    if a.keys() != b.keys():
+        return False
+    for k, va in a.items():
+        vb = b[k]
+        if isinstance(va, float) and isinstance(vb, float):
+            if np.isnan(va) and np.isnan(vb):
+                continue
+            if va != vb:
+                return False
+        elif va != vb:
+            return False
+    return True
+
+
+def _assert_runs_equivalent(fast, legacy):
+    res_f, snap_f, steps_f, rng_f = fast
+    res_l, snap_l, steps_l, rng_l = legacy
+    _assert_bit_identical(res_f, res_l)
+    # Metrics snapshots match except wall time (legitimately differs).
+    for snap in (snap_f, snap_l):
+        snap.pop("engine.wall_time_s", None)
+    keys = set(snap_f) | set(snap_l)
+    for key in sorted(keys):
+        vf, vl = snap_f.get(key), snap_l.get(key)
+        if isinstance(vf, float) and isinstance(vl, float) \
+                and np.isnan(vf) and np.isnan(vl):
+            continue
+        assert vf == vl, f"metric {key}: {vf!r} != {vl!r}"
+    # Same per-step trace instants (ts/depth are wall-clock artefacts).
+    assert len(steps_f) == len(steps_l)
+    for rf, rl in zip(steps_f, steps_l):
+        assert _eq_args(rf["args"], rl["args"]), (rf["args"], rl["args"])
+    # The fast path must consume the RNG stream exactly like the legacy
+    # per-step draws, leaving the generator in the same state.
+    assert rng_f == rng_l
+
+
+# ------------------------------------------------- fast vs legacy property
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    pair_seed=st.integers(0, 10_000),
+    algo_picks=st.lists(st.sampled_from(ALGORITHMS), min_size=1, max_size=4),
+    n_subflows=st.integers(1, 4),
+    seed=st.integers(0, 50),
+    n_steps=st.integers(2, 40),
+    energy_sample_every=st.integers(1, 13),
+    sparse_routing=st.sampled_from(["auto", "always", "never"]),
+)
+def test_fast_path_bit_identical_to_legacy(pair_seed, algo_picks, n_subflows,
+                                           seed, n_steps,
+                                           energy_sample_every,
+                                           sparse_routing):
+    """Random topology/algorithm/seed/knob combinations: the fast path is
+    indistinguishable from the legacy loop, bit for bit."""
+    fast = _run(_build_net(pair_seed, algo_picks, n_subflows),
+                fast_path=True, seed=seed, n_steps=n_steps,
+                energy_sample_every=energy_sample_every,
+                sparse_routing=sparse_routing)
+    legacy = _run(_build_net(pair_seed, algo_picks, n_subflows),
+                  fast_path=False, seed=seed, n_steps=n_steps,
+                  energy_sample_every=energy_sample_every,
+                  sparse_routing=sparse_routing)
+    _assert_runs_equivalent(fast, legacy)
+
+
+def test_bincount_fallback_bit_identical(monkeypatch):
+    """With scipy's private csr_matvec unavailable, the pure-numpy
+    gather+bincount kernel must still match the legacy loop exactly."""
+    monkeypatch.setattr(engine_mod, "_csr_matvec", None)
+    net = _build_net(7, ["lia", "olia", "dctcp"], 3)
+    sim = FluidSimulation(net, dt=0.004, seed=3)
+    assert sim.kernel == "bincount"
+    fast = _run(net, fast_path=True, seed=3, n_steps=30)
+    legacy = _run(_build_net(7, ["lia", "olia", "dctcp"], 3),
+                  fast_path=False, seed=3, n_steps=30)
+    _assert_runs_equivalent(fast, legacy)
+
+
+def test_interleaved_fast_and_legacy_runs_share_one_sim():
+    """run() can alternate paths on one sim object: the fast path's view
+    buffers must rebind after a legacy run rebinds self.rtt."""
+    net_a = _build_net(11, ["lia", "balia"], 2)
+    net_b = _build_net(11, ["lia", "balia"], 2)
+    sim = FluidSimulation(net_a, dt=0.004, seed=5)
+    ref = FluidSimulation(net_b, dt=0.004, seed=5, fast_path=False)
+    for _ in range(3):
+        got = sim.run(20 * 0.004)
+        want = ref.run(20 * 0.004)
+        _assert_bit_identical(got, want)
+        # Flip the path for the next round (knob is honoured per run()).
+        sim.fast_path = not sim.fast_path
+
+
+# --------------------------------------------------------- kernel selection
+
+
+def test_sparse_routing_never_uses_dense_kernel():
+    net = _build_net(1, ["lia"], 2)
+    sim = FluidSimulation(net, dt=0.004, seed=1, sparse_routing="never")
+    assert sim.kernel == "dense"
+
+
+def test_sparse_routing_auto_prefers_sparse_on_fattree():
+    net = _build_net(1, ["lia"], 2)
+    assert net.routing_plan.density <= engine_mod._SPARSE_DENSITY_THRESHOLD
+    sim = FluidSimulation(net, dt=0.004, seed=1)
+    assert sim.kernel in ("csr_matvec", "bincount")
+
+
+def test_sparse_routing_auto_falls_back_when_dense():
+    """Density above the threshold (tiny 2-host topology: every subflow
+    crosses most links) keeps the scipy operators in auto mode, while
+    "always" still forces the sparse kernel."""
+    from tests.test_fluidsim import tiny_topology
+
+    net = FluidNetwork(tiny_topology())
+    net.add_connection("a", "b", "lia", n_subflows=1)
+    net.finalize()
+    assert net.routing_plan.density > engine_mod._SPARSE_DENSITY_THRESHOLD
+    assert FluidSimulation(net, dt=0.004, seed=1).kernel == "dense"
+    forced = FluidSimulation(net, dt=0.004, seed=1, sparse_routing="always")
+    assert forced.kernel in ("csr_matvec", "bincount")
+
+
+def test_sparse_routing_requires_unit_weights():
+    """Non-unit stored weights make the gather kernels invalid; even
+    "always" must fall back to dense."""
+    net = _build_net(1, ["lia"], 2)
+    net.routing.data[0] = 2.0
+    net.routing_plan = RoutingPlan.from_routing(net.routing, net.routing_t)
+    assert not net.routing_plan.unit_weights
+    sim = FluidSimulation(net, dt=0.004, seed=1, sparse_routing="always")
+    assert sim.kernel == "dense"
+
+
+def test_invalid_sparse_routing_mode_rejected():
+    net = _build_net(1, ["lia"], 1)
+    with pytest.raises(ConfigurationError, match="sparse_routing"):
+        FluidSimulation(net, dt=0.004, seed=1, sparse_routing="sometimes")
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n_links=st.integers(1, 12),
+       n_subflows=st.integers(1, 12))
+def test_routing_plan_kernels_match_scipy(seed, n_links, n_subflows):
+    """The gather+bincount evaluation of R@x and R.T@v over RoutingPlan
+    index arrays is bit-identical to scipy's CSR products for random
+    unit-weight incidence matrices."""
+    from scipy import sparse
+
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n_links, n_subflows)) < 0.3
+    rows, cols = np.nonzero(mask)  # unique pairs by construction
+    routing = sparse.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(n_links, n_subflows))
+    routing_t = routing.T.tocsr()
+    plan = RoutingPlan.from_routing(routing, routing_t)
+    assert plan.unit_weights
+    x = rng.standard_normal(n_subflows) * 1e9
+    v = rng.standard_normal(n_links)
+    y = np.bincount(plan.link_of_nnz, weights=x[plan.sub_gather],
+                    minlength=n_links)
+    z = np.bincount(plan.sub_of_nnz, weights=v[plan.link_gather],
+                    minlength=n_subflows)
+    assert y.tobytes() == (routing @ x).tobytes()
+    assert z.tobytes() == (routing_t @ v).tobytes()
+
+
+# ------------------------------------------------------------- chunked RNG
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), width=st.integers(1, 20),
+       total=st.integers(1, 100), block=st.integers(1, 17))
+def test_uniform_blocks_stream_identity(seed, width, total, block):
+    """UniformBlocks yields the exact rows ``rng.random(width)`` would,
+    in order, and leaves the bit generator in the same state."""
+    blocked = UniformBlocks(np.random.default_rng(seed), width, total,
+                            rows_per_block=block)
+    ref = np.random.default_rng(seed)
+    for _ in range(total):
+        row = blocked.next_row()
+        assert row.tobytes() == ref.random(width).tobytes()
+    assert (blocked.rng.bit_generator.state == ref.bit_generator.state)
+
+
+def test_uniform_blocks_exhaustion_and_refills():
+    blocked = UniformBlocks(np.random.default_rng(0), 4, 10, rows_per_block=4)
+    for _ in range(10):
+        blocked.next_row()
+    assert blocked.refills == 3  # 4 + 4 + 2 rows
+    with pytest.raises(ConfigurationError):
+        blocked.next_row()
+
+
+def test_uniform_blocks_validates_arguments():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigurationError):
+        UniformBlocks(rng, -1, 10)
+    with pytest.raises(ConfigurationError):
+        UniformBlocks(rng, 4, -1)
+    with pytest.raises(ConfigurationError):
+        UniformBlocks(rng, 4, 10, rows_per_block=0)

@@ -286,6 +286,35 @@ class TestFluidEngine:
         res = self.run_pair()
         assert np.all(res.mean_rtt >= 0.008 * 0.999)
 
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_energy_trailing_window_clamped(self, fast_path):
+        # 15 steps sampled every 10: windows are [10, 5]. The trailing
+        # partial window used to be billed as a full 10 steps.
+        net = FluidNetwork(tiny_topology())
+        net.add_connection("a", "b", "reno", n_subflows=1)
+        net.finalize()
+        dt = 0.002
+        sim = FluidSimulation(net, dt=dt, seed=1, energy_sample_every=10,
+                              fast_path=fast_path)
+        res = sim.run(15 * dt)
+        assert len(res.sample_power_w) == 2
+        expected = sum(p * dt * w for p, w in zip(res.sample_power_w, [10, 5]))
+        assert res.total_energy_j == pytest.approx(expected, rel=1e-12)
+        overcounted = sum(p * dt * 10 for p in res.sample_power_w)
+        assert res.total_energy_j < overcounted
+
+    def test_energy_unchanged_when_steps_divide_evenly(self):
+        # Sanity guard for figure byte-stability: the clamp is a no-op
+        # when n_steps is a multiple of energy_sample_every.
+        net = FluidNetwork(tiny_topology())
+        net.add_connection("a", "b", "reno", n_subflows=1)
+        net.finalize()
+        dt = 0.002
+        sim = FluidSimulation(net, dt=dt, seed=1, energy_sample_every=10)
+        res = sim.run(20 * dt)
+        expected = sum(p * dt * 10 for p in res.sample_power_w)
+        assert res.total_energy_j == pytest.approx(expected, rel=1e-12)
+
 
 class TestCrossEngineConsistency:
     """Packet-level and fluid engines should agree on simple equilibria."""
