@@ -1,0 +1,37 @@
+"""Live UDP transport benchmark: loopback fetch throughput.
+
+Not a paper figure — this tracks the asyncio transport's end-to-end
+cost (event-loop scheduling, wire codec, sans-IO core stepping, loss
+recovery over real sockets).  The measurement body lives in
+:mod:`repro.bench.cases` (registered as ``transport.loopback_transfer``);
+this module wraps the same body for interactive pytest-benchmark runs,
+so both paths measure identical code.
+
+Direct invocation emits machine-readable results::
+
+    PYTHONPATH=src python benchmarks/bench_transport.py   # BENCH_transport.json
+"""
+
+from repro.bench.cases import transport_loopback_transfer
+
+
+def test_transport_loopback_throughput(benchmark):
+    received = benchmark.pedantic(
+        transport_loopback_transfer, rounds=3, iterations=1)
+    assert received >= 1024 * 1024
+
+
+def main(argv=None) -> int:
+    """Run the registered ``transport`` suite and write BENCH_transport.json."""
+    import sys
+
+    from repro.cli import main as cli_main
+
+    if argv is None:
+        argv = sys.argv[1:]
+
+    return cli_main(["bench", "run", "--suite", "transport", *argv])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

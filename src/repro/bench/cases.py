@@ -39,6 +39,7 @@ __all__ = [
     "packet_transfer",
     "spec_hash_cost",
     "traced_packet_transfer",
+    "transport_loopback_transfer",
 ]
 
 
@@ -255,6 +256,28 @@ def _engine_fluid_largescale(ctx: BenchContext):
                                     fluid_step_kernel_setup()))
 def _engine_fluid_step_kernel(ctx: BenchContext):
     assert fluid_step_kernel_steps(ctx.fluid_sim) == 200
+
+
+# ----------------------------------------------------------------- transport
+
+def transport_loopback_transfer():
+    """One 1 MiB fetch over 2 real UDP subflows on loopback with 2%
+    seeded forward loss (server + client in one event loop); returns the
+    bytes received in order."""
+    import asyncio
+
+    from repro.transport.client import loopback_selftest
+
+    result = asyncio.run(loopback_selftest(
+        controller="dts", subflows=2, total_bytes=1024 * 1024,
+        loss_rate=0.02, loss_seed=42, timeout=60.0))
+    return result.fetch.bytes_received
+
+
+@register("transport.loopback_transfer", suites=("tier1", "transport"),
+          description="1 MiB UDP loopback fetch, 2 subflows, 2% seeded loss")
+def _transport_loopback_transfer(ctx: BenchContext):
+    assert transport_loopback_transfer() >= 1024 * 1024
 
 
 # ------------------------------------------------------------------ campaign

@@ -540,6 +540,198 @@ def _bench_main(argv: List[str]) -> int:
     return _bench_list(args)
 
 
+# ------------------------------------------------------------------ transport
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve bulk transfers over N real UDP subflow sockets "
+                    "(docs/TRANSPORT.md). Clients pick the congestion "
+                    "controller per connection.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=9300, metavar="BASE",
+                        help="first UDP port; one port per subflow path "
+                             "(default: 9300, 0 = ephemeral)")
+    parser.add_argument("--ports", type=_positive_int, default=4, metavar="N",
+                        help="number of subflow ports to bind (default: 4)")
+    parser.add_argument("--loss", type=float, default=0.0, metavar="P",
+                        help="inject outbound datagram loss with "
+                             "probability P (testing; default: 0)")
+    parser.add_argument("--loss-seed", type=int, default=None,
+                        help="seed for the loss shim")
+    parser.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                        help="serve /metrics, /manifest, /healthz on this "
+                             "HTTP port (0 = ephemeral)")
+    parser.add_argument("--once", action="store_true",
+                        help="exit after the first connection completes")
+    parser.add_argument("--idle-timeout", type=float, default=30.0,
+                        metavar="S", help="drop silent connections after S "
+                                          "seconds (default: 30)")
+    return parser
+
+
+def build_fetch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fetch",
+        description="Fetch a bulk transfer from 'repro serve' over N UDP "
+                    "subflows, or run the in-process loopback self-test.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=9300, metavar="BASE",
+                        help="server's first UDP port (default: 9300)")
+    parser.add_argument("--subflows", type=_positive_int, default=2,
+                        metavar="N", help="UDP subflows to open (default: 2)")
+    parser.add_argument("--controller", default="dts",
+                        help="congestion controller the server should run "
+                             "for this connection (default: dts)")
+    parser.add_argument("--bytes", type=_positive_int,
+                        default=4 * 1024 * 1024, metavar="B",
+                        help="transfer size (default: 4 MiB)")
+    parser.add_argument("--payload", type=_positive_int, default=1200,
+                        metavar="B", help="payload bytes per segment "
+                                          "(default: 1200)")
+    parser.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                        help="overall fetch timeout (default: 120)")
+    parser.add_argument("--loss", type=float, default=0.0, metavar="P",
+                        help="inject loss (self-test: forward path; "
+                             "fetch: ACK path) with probability P")
+    parser.add_argument("--loss-seed", type=int, default=42,
+                        help="seed for the loss shim (default: 42)")
+    parser.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                        help="expose client /metrics on this HTTP port")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run server + fetch in-process over loopback "
+                             "(CI smoke mode; --host/--port ignored)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the result document as JSON "
+                             "('-' for stdout)")
+    return parser
+
+
+def _print_fetch_result(result) -> None:
+    from repro.analysis.report import format_table
+
+    print(f"controller={result.controller} subflows={result.n_subflows} "
+          f"bytes={result.bytes_received} elapsed={result.elapsed_s:.3f}s "
+          f"goodput={result.goodput_bps / 1e6:.2f} Mbps "
+          f"bad_datagrams={result.bad_datagrams}")
+    print(format_table(
+        ["path", "port", "segments", "dup", "bytes"],
+        [[s.path_id, s.port, s.segments_in_order, s.duplicates,
+          s.bytes_received] for s in result.subflows],
+    ))
+
+
+def _emit_json(document: dict, path: "str | None") -> None:
+    import json as _json
+
+    if path is None:
+        return
+    blob = _json.dumps(document, indent=2, sort_keys=True, default=str)
+    if path == "-":
+        print(blob)
+    else:
+        Path(path).write_text(blob + "\n")
+        print(f"json: {path}")
+
+
+def _serve_main(argv: List[str]) -> int:
+    import asyncio
+
+    args = build_serve_parser().parse_args(argv)
+    from repro.transport.server import TransportServer
+
+    async def run() -> int:
+        server = TransportServer(
+            host=args.host,
+            base_port=args.port,
+            n_ports=args.ports,
+            loss_rate=args.loss,
+            loss_seed=args.loss_seed,
+            metrics_port=args.metrics_port,
+            idle_timeout=args.idle_timeout,
+        )
+        ports = await server.start()
+        print(f"serving on {args.host} udp ports "
+              f"{ports[0]}..{ports[-1]} ({len(ports)} paths)")
+        if server.metrics_port is not None:
+            print(f"metrics: http://{args.host}:{server.metrics_port}/metrics")
+        try:
+            while True:
+                conn_id = await server.wait_connection_complete()
+                conn = server.connections.get(conn_id)
+                if conn is not None:
+                    snap = conn.snapshot()
+                    print(f"conn {conn_id} [{snap['controller']}] "
+                          f"{'done' if snap['completed'] else 'dropped'}: "
+                          f"{snap['acked_segments']}/{snap['total_segments']} "
+                          f"segments in {snap['elapsed_s']:.3f}s, "
+                          f"{snap['energy_j']:.2f} J")
+                if args.once:
+                    return 0
+        except asyncio.CancelledError:  # pragma: no cover - signal path
+            return 0
+        finally:
+            await server.stop()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+
+
+def _fetch_main(argv: List[str]) -> int:
+    import asyncio
+
+    args = build_fetch_parser().parse_args(argv)
+    from repro.transport.client import fetch, loopback_selftest
+
+    try:
+        if args.selftest:
+            result = asyncio.run(loopback_selftest(
+                controller=args.controller,
+                subflows=args.subflows,
+                total_bytes=args.bytes,
+                payload_bytes=args.payload,
+                loss_rate=args.loss if args.loss > 0 else 0.02,
+                loss_seed=args.loss_seed,
+                timeout=args.timeout,
+                metrics_port=args.metrics_port,
+            ))
+            if args.json != "-":  # keep stdout pure JSON for pipelines
+                _print_fetch_result(result.fetch)
+                conn_snaps = result.server_metrics.get("connections", {})
+                for snap in conn_snaps.values():
+                    print(f"server energy: {snap['energy_j']:.2f} J, "
+                          f"mean power {snap['mean_power_w']:.2f} W, "
+                          f"retransmitted "
+                          f"{sum(s['retransmitted'] for s in snap['subflows'])}")
+            _emit_json(result.to_dict(), args.json)
+            return 0 if result.fetch.bytes_received >= args.bytes else 1
+        ports = [args.port + i for i in range(args.subflows)]
+        result = asyncio.run(fetch(
+            args.host,
+            ports,
+            controller=args.controller,
+            total_bytes=args.bytes,
+            payload_bytes=args.payload,
+            loss_rate=args.loss,
+            loss_seed=args.loss_seed,
+            timeout=args.timeout,
+            metrics_port=args.metrics_port,
+        ))
+        if args.json != "-":  # keep stdout pure JSON for pipelines
+            _print_fetch_result(result)
+        _emit_json(result.to_dict(), args.json)
+        return 0 if result.bytes_received >= args.bytes else 1
+    except (ConnectionError, asyncio.TimeoutError) as exc:
+        print(f"fetch failed: {exc}", file=sys.stderr)
+        return 1
+
+
 # ----------------------------------------------------------------------- main
 
 def main(argv: List[str] | None = None) -> int:
@@ -553,6 +745,10 @@ def main(argv: List[str] | None = None) -> int:
         return _obs_main(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "fetch":
+        return _fetch_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     runners = _figure_runners()
@@ -563,7 +759,7 @@ def main(argv: List[str] | None = None) -> int:
             print(f"  {name}")
         print("subcommands: campaign, sweep (parallel cached runs), "
               "obs (artifact reports), bench (benchmarks + regression "
-              "gate); see --help")
+              "gate), serve, fetch (real UDP transport); see --help")
         return 0
 
     targets = sorted(runners) if "all" in args.targets else args.targets

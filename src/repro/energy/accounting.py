@@ -53,6 +53,43 @@ def transfer_energy(
     return host_model.power(paths, n_subflows=n_subflows) * duration
 
 
+class TransferEnergyAccount:
+    """Wall-clock Eq. (2) integrator for the real UDP transport.
+
+    The DES :class:`ConnectionEnergyMeter` below owns its sampling timer;
+    on the asyncio side the runtime already has a periodic tick, so this
+    account is passive: the caller pushes ``(throughput_bps, rtt)`` pairs
+    with a timestamp whenever it likes (intervals may be irregular) and
+    the account integrates ``P * dt`` trapezoidally between samples.
+    """
+
+    def __init__(self, host_model: HostPowerModel, *,
+                 n_subflows: Optional[int] = None):
+        self.host_model = host_model
+        self.n_subflows = n_subflows
+        self.energy_j = 0.0
+        self.times: List[float] = []
+        self.powers: List[float] = []
+
+    def sample(self, now: float, paths: Sequence[Tuple[float, float]]) -> float:
+        """Record one power sample at wall time ``now``; returns the power."""
+        power = self.host_model.power(paths, n_subflows=self.n_subflows)
+        if self.times:
+            dt = now - self.times[-1]
+            if dt > 0:
+                self.energy_j += 0.5 * (power + self.powers[-1]) * dt
+        self.times.append(now)
+        self.powers.append(power)
+        return power
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average power over the sampled window, in watts."""
+        if not self.powers:
+            return 0.0
+        return sum(self.powers) / len(self.powers)
+
+
 class ConnectionEnergyMeter:
     """Integrates host power over one connection's lifetime.
 

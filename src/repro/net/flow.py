@@ -1,4 +1,4 @@
-"""Single-subflow TCP sender/receiver machinery.
+"""Single-subflow TCP sender/receiver machinery (DES host).
 
 This module is the packet-level substitute for the per-subflow socket code of
 the MPTCP Linux kernel v0.90 the paper modifies: slow start, congestion
@@ -6,6 +6,13 @@ avoidance (delegated to a pluggable congestion controller), duplicate-ACK
 fast retransmit with NewReno-style partial-ACK recovery, exponential-backoff
 retransmission timeouts, RTT estimation (RFC 6298), baseRTT tracking (the
 input to the paper's DTS factor, Eq. 5), and ECN echo for DCTCP.
+
+The transport *logic* lives in :mod:`repro.transport.core` as pure
+transition functions over :class:`~repro.transport.core.SenderState`;
+this module is the discrete-event host for that core: it owns packets,
+routes, the simulator clock, and the coalesced RTO timer machinery, and
+delegates every state transition. The asyncio UDP host in
+:mod:`repro.transport.aio` drives the very same functions.
 
 A :class:`TcpSender` is one subflow. Standalone TCP is a connection with a
 single subflow; :mod:`repro.net.mptcp` builds multi-subflow connections that
@@ -19,16 +26,22 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
 from repro.net.routing import Route
+from repro.transport import core as _core
+from repro.transport.core import INITIAL_RTO, MAX_RTO, MIN_RTO, SenderState
 from repro.units import DEFAULT_MSS, DEFAULT_PACKET_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.algorithms.base import CongestionController
     from repro.net.events import Simulator
 
-#: RFC 6298 lower bound is 1 s; Linux uses 200 ms, which we follow.
-MIN_RTO = 0.2
-MAX_RTO = 60.0
-INITIAL_RTO = 1.0
+__all__ = [
+    "MIN_RTO",
+    "MAX_RTO",
+    "INITIAL_RTO",
+    "SegmentSupply",
+    "TcpReceiver",
+    "TcpSender",
+]
 
 _INF = float("inf")
 
@@ -86,8 +99,10 @@ class SegmentSupply:
 class TcpReceiver:
     """Receiving endpoint of one subflow: reorders and sends cumulative ACKs.
 
-    With ``delayed_acks`` every second in-order segment is acknowledged
-    (RFC 1122 style, with a timer flushing a pending ACK after
+    Reordering is :func:`repro.transport.core.deliver_segment`; this class
+    adds the DES concerns — packet pools, ACK transmission, and delayed
+    ACKs. With ``delayed_acks`` every second in-order segment is
+    acknowledged (RFC 1122 style, with a timer flushing a pending ACK after
     ``delack_timeout``); out-of-order data, ECN marks and reordering are
     always acknowledged immediately, as real stacks do, so loss recovery
     and DCTCP are unaffected.
@@ -123,16 +138,7 @@ class TcpReceiver:
         """Handle an arriving data segment and emit (or delay) the ACK."""
         self.packets_received += 1
         self.bytes_received += packet.size_bytes
-        sack_seq = -1
-        in_order = packet.seq == self.rcv_next
-        if in_order:
-            self.rcv_next += 1
-            while self.rcv_next in self._out_of_order:
-                self._out_of_order.discard(self.rcv_next)
-                self.rcv_next += 1
-        elif packet.seq > self.rcv_next:
-            self._out_of_order.add(packet.seq)
-            sack_seq = packet.seq
+        in_order, sack_seq = _core.deliver_segment(self, packet.seq)
         must_ack_now = (
             not self.delayed_acks
             or not in_order
@@ -172,13 +178,16 @@ class TcpReceiver:
         self.route.reverse[0].transmit(ack)
 
 
-class TcpSender:
-    """Sending endpoint of one subflow.
+class TcpSender(SenderState):
+    """Sending endpoint of one subflow (discrete-event host of the core).
 
     The congestion controller owns the *congestion-avoidance* window rules
     (per-ACK increase, loss decrease) for the whole connection; the sender
     owns everything else (slow start, loss detection, retransmission,
-    timers, RTT estimation).
+    timers, RTT estimation) — all delegated to the shared transition
+    functions in :mod:`repro.transport.core`, with this class supplying the
+    IO surface: the simulator clock via :meth:`now`, packet emission via
+    :meth:`_send_segment`, and event-heap RTO timers.
     """
 
     def __init__(
@@ -196,57 +205,24 @@ class TcpSender:
         delayed_acks: bool = False,
         rto_coalesce: bool = True,
     ):
+        super().__init__(
+            mss=mss,
+            packet_bytes=packet_bytes,
+            ecn_capable=ecn_capable,
+            cwnd=float(initial_cwnd),
+            initial_cwnd=float(initial_cwnd),
+            rwnd=rcv_buffer_segments if rcv_buffer_segments is not None else 10**9,
+        )
         self.sim = sim
         self.flow_id = flow_id
         self.route = route
         self.supply = supply
         self._pool = sim.pool
-        self.mss = mss
-        self.packet_bytes = packet_bytes
-        self.ecn_capable = ecn_capable
         self.controller: Optional["CongestionController"] = None
-        #: Index of this subflow within its connection (set by MptcpConnection).
-        self.subflow_index = 0
         #: Optional observability probe (see repro.net.mptcp.ConnectionProbe);
         #: attached by MptcpConnection when an obs session is active.
         self.probe = None
 
-        # --- window state (in segments; cwnd is fractional) ---
-        self.cwnd = float(initial_cwnd)
-        self.initial_cwnd = float(initial_cwnd)
-        self.ssthresh = 1e12
-        self.rwnd = rcv_buffer_segments if rcv_buffer_segments is not None else 10**9
-
-        # --- sequencing ---
-        self.next_seq = 0  # next brand-new sequence number
-        self.high_water = 0  # one past the highest seq ever sent
-        self.acked = 0  # cumulative ACK point
-        self.dup_acks = 0
-        self.in_recovery = False
-        self.recover_point = 0
-        # SACK scoreboard: out-of-order seqs the receiver holds (>= acked);
-        # holes already retransmitted this recovery episode; retransmissions
-        # still unacknowledged (they count toward the pipe); and a forward
-        # scan pointer for finding the next hole in O(1) amortized.
-        self._sacked: set = set()
-        self._retransmitted_holes: set = set()
-        self._retx_outstanding: set = set()
-        self._hole_scan = 0
-        #: Highest SACKed seq seen (drives the RFC 6675 IsLost heuristic).
-        self._max_sacked = -1
-        #: Cached pipe value, maintained per ACK while in recovery.
-        self._pipe_cache = 0
-        #: True when the current recovery episode began with an RTO, in
-        #: which case the window regrows (slow start) during recovery.
-        self._rto_recovery = False
-
-        # --- RTT estimation (RFC 6298) ---
-        self.srtt: Optional[float] = None
-        self.rttvar: Optional[float] = None
-        self.base_rtt = float("inf")
-        self.latest_rtt: Optional[float] = None
-        self.rto = INITIAL_RTO
-        self._rto_backoff = 1.0
         # --- RTO timer (coalesced by default: one armed tick event,
         # re-aimed lazily, instead of cancel+reschedule per ACK) ---
         #: When the conceptual retransmission timer expires (inf = off).
@@ -256,111 +232,20 @@ class TcpSender:
         self._rto_event = None
         self.rto_coalesce = rto_coalesce
 
-        # --- counters ---
-        self.fast_retransmits = 0
-        self.timeouts = 0
-        self.loss_events = 0
-        self.packets_sent = 0
-        self.retransmitted = 0
-        self.started = False
-        self.start_time: Optional[float] = None
-
         self.receiver = TcpReceiver(sim, flow_id, route, self,
                                     delayed_acks=delayed_acks)
 
     # ------------------------------------------------------------------ api
 
-    @property
-    def rtt(self) -> float:
-        """Best current RTT estimate (smoothed, falling back to the floor)."""
-        if self.srtt is not None:
-            return self.srtt
-        return max(self.route.base_rtt(), 1e-6)
+    def now(self) -> float:
+        """The pluggable clock: simulation time, for this host.
 
-    @property
-    def inflight(self) -> int:
-        """Estimated segments in the pipe (RFC 6675 style).
-
-        Outside recovery: everything sent and not (selectively) ACKed.
-        Inside recovery: the cached per-ACK pipe computation, which treats
-        presumed-lost holes as *not* in flight (see :meth:`_compute_pipe`).
+        Every transition and timer deadline reads time through this hook —
+        nothing below reads ``sim.now`` directly — so the sans-IO
+        :class:`~repro.transport.core.SenderCore` driving the same
+        transitions from a wall clock cannot drift from the DES path.
         """
-        if self.in_recovery:
-            return self._pipe_cache
-        return self.high_water - self.acked - len(self._sacked)
-
-    def _hole_is_lost(self, seq: int) -> bool:
-        """RFC 6675 IsLost, approximated at dup-threshold granularity: a
-        hole is presumed lost once the receiver has SACKed data at least
-        3 segments above it. After an RTO everything unSACKed below the
-        recovery point is presumed lost."""
-        if self._rto_recovery:
-            return True
-        return seq <= self._max_sacked - 3
-
-    def _compute_pipe_reference(self) -> int:
-        """Per-sequence specification of :meth:`_compute_pipe`.
-
-        The O(window) loop the closed form below must match exactly;
-        kept as the oracle for the fast-path property tests.
-        """
-        pipe = 0
-        sacked = self._sacked
-        retx = self._retx_outstanding
-        for seq in range(self.acked, self.high_water):
-            if seq in sacked:
-                continue
-            if seq in retx:
-                pipe += 1
-            elif seq >= self.recover_point:
-                pipe += 1  # sent after the episode began; presumed in flight
-            elif not self._hole_is_lost(seq):
-                pipe += 1
-        return pipe
-
-    def _compute_pipe(self) -> int:
-        """Segments currently in flight during a recovery episode.
-
-        Closed form of :meth:`_compute_pipe_reference` — O(|sacked| +
-        |retransmitted|) instead of O(window), by counting the three
-        disjoint contributions directly:
-
-        * every non-SACKed seq in [recover_point, high_water) is in flight;
-        * every unacknowledged retransmission below recover_point is in
-          flight (the scoreboard keeps it disjoint from the SACKed set);
-        * a plain hole below recover_point is in flight only while the
-          IsLost heuristic has not yet presumed it lost — i.e. it lies
-          above ``max_sacked - 3`` (never, after an RTO).
-        """
-        acked = self.acked
-        recover = self.recover_point
-        sacked = self._sacked
-        retx = self._retx_outstanding
-        pipe = (self.high_water - recover)
-        if sacked:
-            pipe -= sum(1 for s in sacked if s >= recover)
-        pipe += sum(1 for x in retx if x < recover)
-        if not self._rto_recovery:
-            lo = self._max_sacked - 2  # seq > max_sacked - 3, i.e. not lost
-            if lo < acked:
-                lo = acked
-            if lo < recover:
-                pipe += recover - lo
-                if sacked:
-                    pipe -= sum(1 for s in sacked if lo <= s < recover)
-                if retx:
-                    pipe -= sum(1 for x in retx if lo <= x < recover)
-        return pipe
-
-    @property
-    def rate_estimate(self) -> float:
-        """Current window-based send-rate estimate x_r = w_r/RTT_r (segments/s)."""
-        return self.cwnd / self.rtt
-
-    @property
-    def done(self) -> bool:
-        """True once the shared transfer has fully completed."""
-        return self.supply.completed
+        return self.sim.now
 
     def start(self, at: float = 0.0) -> None:
         """Begin transmitting at absolute simulation time ``at``."""
@@ -370,71 +255,19 @@ class TcpSender:
         self.sim.schedule_at(max(at, self.sim.now), self._begin)
 
     def _begin(self) -> None:
-        self.start_time = self.sim.now
+        self.start_time = self.now()
         self._send_available()
 
     # ------------------------------------------------------- sending engine
 
     def _effective_window(self) -> int:
-        return int(min(self.cwnd, self.rwnd))
+        return _core.effective_window(self)
 
     def _next_hole(self) -> int:
-        """Next *presumed-lost* segment to retransmit this recovery, or -1.
-
-        A hole is a seq in [acked, recover_point) that the receiver has not
-        selectively ACKed, that the IsLost heuristic marks lost, and that we
-        have not already retransmitted this recovery episode.
-        """
-        seq = max(self._hole_scan, self.acked)
-        recover = self.recover_point
-        sacked = self._sacked
-        done = self._retransmitted_holes
-        lost_below = _INF if self._rto_recovery else self._max_sacked - 3
-        while seq < recover:
-            if seq not in sacked and seq not in done:
-                if seq > lost_below:  # inlined _hole_is_lost
-                    return -1  # later holes are even less likely lost yet
-                self._hole_scan = seq
-                return seq
-            seq += 1
-        self._hole_scan = seq
-        return -1
+        return _core.next_hole(self)
 
     def _send_available(self) -> None:
-        window = self._effective_window()
-        supply = self.supply
-        sent_any = False
-        if self.in_recovery:
-            # in_recovery cannot flip inside the loop (no ACKs arrive
-            # while we send), so the hole/new-data split hoists out.
-            while self._pipe_cache < window:
-                hole = self._next_hole()
-                if hole >= 0:
-                    self._retransmitted_holes.add(hole)
-                    self._retx_outstanding.add(hole)
-                    self._send_segment(hole, is_retransmit=True)
-                    self._pipe_cache += 1
-                    sent_any = True
-                    continue
-                if supply.completed or not supply.take(self):
-                    break
-                self._send_segment(self.next_seq, is_retransmit=False)
-                self.next_seq += 1
-                self.high_water = max(self.high_water, self.next_seq)
-                self._pipe_cache += 1
-                sent_any = True
-        else:
-            inflight = self.high_water - self.acked - len(self._sacked)
-            while inflight < window:
-                if supply.completed or not supply.take(self):
-                    break
-                self._send_segment(self.next_seq, is_retransmit=False)
-                self.next_seq += 1
-                self.high_water = max(self.high_water, self.next_seq)
-                inflight += 1
-                sent_any = True
-        if sent_any:
-            self._ensure_rto_timer()
+        _core.send_available(self)
 
     def _send_segment(self, seq: int, *, is_retransmit: bool) -> None:
         pkt = self._pool.data(
@@ -458,136 +291,44 @@ class TcpSender:
         """Handle an arriving ACK (this object is the ACK packets' sink)."""
         if not packet.is_ack:
             return
-        self._take_rtt_sample(packet)
-        controller = self.controller
-        if controller is not None and packet.ecn_echo:
-            controller.on_ecn(self)
-        if packet.sack_seq >= self.acked and packet.sack_seq not in self._sacked:
-            self._sacked.add(packet.sack_seq)
-            self._retx_outstanding.discard(packet.sack_seq)
-            if packet.sack_seq > self._max_sacked:
-                self._max_sacked = packet.sack_seq
-        if packet.ack_seq > self.acked:
-            self._handle_new_ack(packet.ack_seq)
-        elif packet.ack_seq == self.acked and self.high_water > self.acked:
-            self._handle_dup_ack()
-        if self.in_recovery:
-            self._pipe_cache = self._compute_pipe()
-        self._send_available()
+        _core.process_ack(
+            self,
+            packet.ack_seq,
+            packet.sack_seq,
+            packet.ecn_echo,
+            packet.echo_time,
+            self.now(),
+        )
 
     def _take_rtt_sample(self, packet: Packet) -> None:
-        sample = self.sim.now - packet.echo_time
-        if sample <= 0:
-            return
-        self.latest_rtt = sample
-        if sample < self.base_rtt:
-            self.base_rtt = sample
-        if self.srtt is None:
-            self.srtt = sample
-            self.rttvar = sample / 2
-        else:
-            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
-            self.srtt = 0.875 * self.srtt + 0.125 * sample
-        self.rto = min(MAX_RTO, max(MIN_RTO, self.srtt + 4 * self.rttvar))
-        if self.controller is not None:
-            self.controller.on_rtt(self, sample)
+        _core.take_rtt_sample(self, self.now(), packet.echo_time)
 
     def _handle_new_ack(self, ack_seq: int) -> None:
-        newly = ack_seq - self.acked
-        self.acked = ack_seq
-        self.dup_acks = 0
-        self._rto_backoff = 1.0
-        if self._sacked:
-            self._sacked = {s for s in self._sacked if s >= ack_seq}
-        if self._retx_outstanding:
-            self._retx_outstanding = {
-                s for s in self._retx_outstanding if s >= ack_seq
-            }
-        self.supply.note_acked(newly, self.sim.now)
-        if self.in_recovery:
-            if self.acked >= self.recover_point:
-                self._exit_recovery()
-                self._grow_window(newly)
-            elif self._rto_recovery:
-                # Post-RTO the window regrows from 1 via slow start even
-                # while holes are being refilled, as Linux does.
-                self._grow_window(newly)
-        else:
-            self._grow_window(newly)
-        if self.probe is not None:
-            self.probe.on_ack(self)
-        if self.inflight > 0:
-            self._restart_rto_timer()
-        else:
-            self._cancel_rto_timer()
+        _core.handle_new_ack(self, ack_seq)
 
     def _exit_recovery(self) -> None:
-        self.in_recovery = False
-        self._rto_recovery = False
-        self._retransmitted_holes.clear()
-        self._retx_outstanding.clear()
-        self._pipe_cache = 0
+        _core.exit_recovery(self)
 
     def _grow_window(self, newly_acked: int) -> None:
-        for _ in range(newly_acked):
-            if self.cwnd < self.ssthresh:
-                self.cwnd += 1.0  # slow start (uncoupled, as in the kernel)
-                self._hystart_check()
-            elif self.controller is not None:
-                self.controller.on_ack(self)
-            else:
-                self.cwnd += 1.0 / self.cwnd  # bare Reno fallback
+        _core.grow_window(self, newly_acked)
 
     def _hystart_check(self) -> None:
-        """HyStart-style delay-increase exit from slow start.
-
-        Linux (which the paper's kernel v0.90 inherits) leaves slow start
-        when the RTT has risen measurably above its floor, long before the
-        queue overflows; without this, slow start overshoots by a full
-        bandwidth-delay product and the resulting mass loss dominates every
-        short transfer.
-        """
-        if self.latest_rtt is None or self.base_rtt == float("inf"):
-            return
-        if self.cwnd < 16:
-            return
-        # Exit when queueing has inflated the RTT by half the propagation
-        # floor (min 8 ms) — late enough not to strand high-BDP paths in
-        # congestion avoidance at a tiny window, early enough to avoid the
-        # full buffer-overflow burst on short-RTT paths.
-        threshold = self.base_rtt + max(0.008, self.base_rtt / 2)
-        if self.latest_rtt > threshold:
-            self.ssthresh = self.cwnd
+        _core.hystart_check(self)
 
     def _handle_dup_ack(self) -> None:
-        self.dup_acks += 1
-        if self.dup_acks == 3 and not self.in_recovery:
-            self._enter_fast_recovery()
+        _core.handle_dup_ack(self)
 
     def _enter_fast_recovery(self) -> None:
-        self.fast_retransmits += 1
-        self.loss_events += 1
-        self.in_recovery = True
-        self._rto_recovery = False
-        self.recover_point = self.high_water
-        self._retransmitted_holes.clear()
-        self._retx_outstanding.clear()
-        self._hole_scan = self.acked
-        if self.controller is not None:
-            self.controller.on_loss(self)
-        else:
-            self.cwnd = max(1.0, self.cwnd / 2)
-        if self.probe is not None:
-            self.probe.on_loss(self, "fast_retransmit")
-        self.ssthresh = max(2.0, self.cwnd)
-        # The first hole (the cumulative-ACK point) is retransmitted
-        # immediately; further holes are filled by _send_available as the
-        # pipe drains.
-        self._retransmitted_holes.add(self.acked)
-        self._retx_outstanding.add(self.acked)
-        self._send_segment(self.acked, is_retransmit=True)
-        self._pipe_cache = self._compute_pipe()
-        self._restart_rto_timer()
+        _core.enter_fast_recovery(self)
+
+    def _hole_is_lost(self, seq: int) -> bool:
+        return _core.hole_is_lost(self, seq)
+
+    def _compute_pipe_reference(self) -> int:
+        return _core.compute_pipe_reference(self)
+
+    def _compute_pipe(self) -> int:
+        return _core.compute_pipe(self)
 
     # ---------------------------------------------------------------- timers
 
@@ -599,7 +340,7 @@ class TcpSender:
             self._restart_rto_timer()
 
     def _restart_rto_timer(self) -> None:
-        deadline = self.sim.now + self.rto * self._rto_backoff
+        deadline = self.now() + self.rto * self._rto_backoff
         if not self.rto_coalesce:
             self._cancel_rto_timer()
             self._rto_event = self.sim.schedule_at(deadline, self._on_rto)
@@ -637,7 +378,7 @@ class TcpSender:
         deadline = self._rto_deadline
         if deadline == _INF:
             return
-        if deadline > self.sim.now:
+        if deadline > self.now():
             self._rto_event = self.sim.schedule_at(deadline, self._rto_tick)
             self._rto_tick_at = deadline
             return
@@ -646,32 +387,7 @@ class TcpSender:
 
     def _on_rto(self) -> None:
         self._rto_event = None
-        if self.inflight == 0 or self.supply.completed:
-            return
-        self.timeouts += 1
-        self.loss_events += 1
-        self.ssthresh = max(2.0, self.cwnd / 2)
-        self.cwnd = 1.0
-        self.dup_acks = 0
-        # RTO starts a fresh recovery episode: every unSACKed segment below
-        # the current send frontier is presumed lost and refilled via
-        # hole retransmission, with the window regrowing in slow start.
-        self.in_recovery = True
-        self._rto_recovery = True
-        self.recover_point = self.high_water
-        self._retransmitted_holes.clear()
-        self._retx_outstanding.clear()
-        self._hole_scan = self.acked
-        self._rto_backoff = min(64.0, self._rto_backoff * 2)
-        if self.controller is not None:
-            self.controller.on_timeout(self)
-        if self.probe is not None:
-            self.probe.on_loss(self, "timeout")
-        self._retransmitted_holes.add(self.acked)
-        self._retx_outstanding.add(self.acked)
-        self._send_segment(self.acked, is_retransmit=True)
-        self._pipe_cache = self._compute_pipe()
-        self._restart_rto_timer()
+        _core.on_rto_expired(self)
 
     # ------------------------------------------------------------- reporting
 
@@ -683,7 +399,7 @@ class TcpSender:
             end = (
                 self.supply.completion_time
                 if self.supply.completion_time is not None
-                else self.sim.now
+                else self.now()
             )
             elapsed = end - self.start_time
         if elapsed <= 0:

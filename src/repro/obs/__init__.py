@@ -34,6 +34,7 @@ per-run registries for free.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Dict, Iterator, Optional
 
 from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest, git_sha
@@ -99,43 +100,55 @@ class ObsSession:
         )
 
 
-_active: Optional[ObsSession] = None
+#: The ambient session lives in a :class:`~contextvars.ContextVar`, not a
+#: module global, so concurrent asyncio tasks (one per transport
+#: connection) each get an isolated session: a task that starts a session
+#: never leaks it into sibling tasks, and sessions started in different
+#: tasks cannot collide. Synchronous code sees the exact old semantics —
+#: in a single context the variable behaves like a global.
+_active: "ContextVar[Optional[ObsSession]]" = ContextVar(
+    "repro_obs_active_session", default=None)
 
 
 def start_session(**kwargs: Any) -> ObsSession:
-    """Install a new ambient session (error if one is already active)."""
-    global _active
-    if _active is not None:
+    """Install a new ambient session (error if one is already active
+    in the current context)."""
+    if _active.get() is not None:
         raise RuntimeError("an obs session is already active")
-    _active = ObsSession(**kwargs)
-    return _active
+    s = ObsSession(**kwargs)
+    _active.set(s)
+    return s
 
 
 def end_session() -> Optional[ObsSession]:
     """Deactivate and return the ambient session (None if none active)."""
-    global _active
-    s, _active = _active, None
+    s = _active.get()
+    _active.set(None)
     return s
 
 
 @contextmanager
 def session(**kwargs: Any) -> Iterator[ObsSession]:
     """``with obs.session(trace=True) as s:`` — scoped ambient session."""
-    s = start_session(**kwargs)
+    if _active.get() is not None:
+        raise RuntimeError("an obs session is already active")
+    s = ObsSession(**kwargs)
+    token = _active.set(s)
     try:
         yield s
     finally:
-        end_session()
+        _active.reset(token)
 
 
 def active_session() -> Optional[ObsSession]:
-    """The ambient session, or None."""
-    return _active
+    """The ambient session of the current context, or None."""
+    return _active.get()
 
 
 def current_tracer() -> "Tracer | NullTracer":
     """The ambient session's tracer, or the shared null tracer."""
-    return _active.tracer if _active is not None else NULL_TRACER
+    s = _active.get()
+    return s.tracer if s is not None else NULL_TRACER
 
 
 def registry_or_new() -> MetricsRegistry:
@@ -145,11 +158,13 @@ def registry_or_new() -> MetricsRegistry:
     one registry; outside one, each engine gets an isolated registry
     backing its compatibility counters.
     """
-    return _active.registry if _active is not None else MetricsRegistry()
+    s = _active.get()
+    return s.registry if s is not None else MetricsRegistry()
 
 
 def annotate(**fields: Any) -> None:
     """Annotate the ambient session; silently a no-op without one, so
     experiments can annotate unconditionally."""
-    if _active is not None:
-        _active.annotations.update(fields)
+    s = _active.get()
+    if s is not None:
+        s.annotations.update(fields)

@@ -1,0 +1,203 @@
+"""Asyncio plumbing shared by the transport server and client.
+
+Three pieces, all stdlib-only:
+
+* :class:`DatagramEndpoint` — an :class:`asyncio.DatagramProtocol` that
+  decodes every datagram with :func:`repro.transport.wire.decode` and
+  hands valid segments to a callback. Malformed datagrams are counted
+  and dropped, never raised — a UDP endpoint must survive hostile input.
+* :class:`LossyTransport` — a transport wrapper that drops outbound
+  datagrams with seeded probability. Loss injection for the loopback
+  self-test and CI (loopback never loses packets on its own).
+* :class:`MetricsHttpServer` — a minimal HTTP/1.1 GET server over
+  asyncio streams exposing JSON route callables (``/metrics``,
+  ``/manifest``, ``/healthz``). Deliberately tiny: no frameworks, no
+  keep-alive, one response per connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from typing import Awaitable, Callable, Dict, Optional, Tuple, Union
+
+from repro.transport.wire import Segment, WireError, decode
+
+Addr = Tuple[str, int]
+SegmentHandler = Callable[[Segment, Addr], None]
+
+
+class DatagramEndpoint(asyncio.DatagramProtocol):
+    """One UDP socket: decode datagrams, dispatch segments, never crash.
+
+    ``on_segment(segment, addr)`` is called for every datagram that
+    parses; anything :func:`decode` rejects increments :attr:`bad_datagrams`
+    and is silently dropped, so corrupt or truncated input cannot take the
+    endpoint down.
+    """
+
+    def __init__(self, on_segment: SegmentHandler):
+        self.on_segment = on_segment
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.bad_datagrams = 0
+        self.datagrams_received = 0
+        self.closed = asyncio.get_running_loop().create_future()
+
+    # -------------------------------------------------- protocol callbacks
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr: Addr) -> None:
+        self.datagrams_received += 1
+        try:
+            segment = decode(data)
+        except WireError:
+            self.bad_datagrams += 1
+            return
+        self.on_segment(segment, addr)
+
+    def error_received(self, exc: Exception) -> None:
+        # ICMP errors (e.g. port unreachable while the peer restarts) are
+        # not fatal for UDP; the transport's own timers handle real loss.
+        pass
+
+    def connection_lost(self, exc) -> None:
+        if not self.closed.done():
+            self.closed.set_result(None)
+
+    # ------------------------------------------------------------- helpers
+
+    def local_port(self) -> int:
+        """The locally bound UDP port."""
+        assert self.transport is not None
+        return self.transport.get_extra_info("sockname")[1]
+
+
+async def open_endpoint(
+    on_segment: SegmentHandler,
+    *,
+    local_addr: Optional[Addr] = None,
+    remote_addr: Optional[Addr] = None,
+) -> "tuple[asyncio.DatagramTransport, DatagramEndpoint]":
+    """Bind (and optionally connect) one UDP socket."""
+    loop = asyncio.get_running_loop()
+    transport, protocol = await loop.create_datagram_endpoint(
+        lambda: DatagramEndpoint(on_segment),
+        local_addr=local_addr,
+        remote_addr=remote_addr,
+    )
+    return transport, protocol
+
+
+class LossyTransport:
+    """Drops outbound datagrams with probability ``loss_rate`` (seeded).
+
+    Wraps the ``sendto`` surface of a real datagram transport; everything
+    else proxies through. Wrapping the *sender's* transport models forward
+    -path loss, wrapping the receiver's models ACK loss.
+    """
+
+    def __init__(self, transport, loss_rate: float, seed: Optional[int] = None):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self._transport = transport
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self.dropped = 0
+        self.passed = 0
+
+    def sendto(self, data: bytes, addr=None) -> None:
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return
+        self.passed += 1
+        self._transport.sendto(data, addr)
+
+    def __getattr__(self, name):
+        return getattr(self._transport, name)
+
+
+RouteFn = Union[Callable[[], object], Callable[[], Awaitable[object]]]
+
+
+class MetricsHttpServer:
+    """Tiny JSON-over-HTTP endpoint for metrics snapshots and manifests.
+
+    ``routes`` maps a path (``"/metrics"``) to a zero-argument callable
+    returning a JSON-serializable object (sync or async). Unknown paths
+    get 404, non-GET methods 405, handler failures 500 — all as JSON.
+    """
+
+    def __init__(self, routes: Dict[str, RouteFn], *, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.routes = dict(routes)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        """Start serving; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request.decode("latin-1").split()
+            # Drain the (ignored) header block so the peer can shut down
+            # cleanly; bail once headers end or the peer goes quiet.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"", b"\r\n", b"\n"):
+                    break
+            if len(parts) < 2:
+                await self._respond(writer, 400, {"error": "bad request"})
+            elif parts[0] != "GET":
+                await self._respond(writer, 405, {"error": "method not allowed"})
+            else:
+                path = parts[1].split("?", 1)[0]
+                handler = self.routes.get(path)
+                if handler is None:
+                    await self._respond(
+                        writer, 404,
+                        {"error": "not found", "routes": sorted(self.routes)})
+                else:
+                    try:
+                        body = handler()
+                        if asyncio.iscoroutine(body):
+                            body = await body
+                        await self._respond(writer, 200, body)
+                    except Exception as exc:  # noqa: BLE001 - report, don't die
+                        await self._respond(writer, 500, {"error": repr(exc)})
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    @staticmethod
+    async def _respond(writer: asyncio.StreamWriter, status: int,
+                       body: object) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 500: "Internal Server Error"}
+        blob = json.dumps(body, indent=2, sort_keys=True, default=str).encode()
+        writer.write(
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + blob)
+        await writer.drain()

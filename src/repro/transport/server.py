@@ -1,0 +1,481 @@
+"""The transport server: sans-IO sender cores behind real UDP sockets.
+
+``python -m repro serve`` binds N consecutive UDP ports — one socket per
+subflow path — and serves bulk transfers to fetch clients. Each client
+connection picks its own congestion controller in its HELLO (live A/B:
+two concurrent fetches may run DTS and LIA side by side), gets one
+:class:`~repro.transport.core.SenderCore` per path coupled through that
+controller and a shared :class:`~repro.net.flow.SegmentSupply`, and has
+its host energy integrated by a
+:class:`~repro.energy.accounting.TransferEnergyAccount` exactly as the
+DES meters do. A :class:`~repro.transport.aio.MetricsHttpServer`
+exposes per-subflow cwnd/throughput/energy JSON (``/metrics``), a
+:class:`~repro.obs.RunManifest` (``/manifest``) and ``/healthz``.
+
+The asyncio side owns exactly what the simulator owns in the DES host:
+sockets, timers, and the clock (``loop.time``). All transport decisions —
+what to send, when something is lost, how windows move — happen inside
+the cores.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+import repro.obs as obs
+from repro.algorithms import create_controller
+from repro.energy.accounting import TransferEnergyAccount
+from repro.energy.cpu import HostPowerModel, default_wired_host
+from repro.errors import ConfigurationError
+from repro.net.flow import SegmentSupply
+from repro.transport.aio import (
+    Addr,
+    DatagramEndpoint,
+    LossyTransport,
+    MetricsHttpServer,
+    open_endpoint,
+)
+from repro.transport.core import PathProfile, SenderCore
+from repro.transport.wire import (
+    AckSegment,
+    ByeSegment,
+    HelloSegment,
+    Segment,
+    encode_bye,
+    encode_data,
+    encode_hello_ack,
+)
+
+#: Default data payload per segment — fits a 1500-byte MTU with headroom.
+DEFAULT_PAYLOAD_BYTES = 1200
+
+#: A connection with no client traffic for this long is torn down.
+IDLE_TIMEOUT = 30.0
+
+#: Upper bound on how long the per-connection driver sleeps between
+#: timer checks; also the energy/metrics sampling cadence.
+TICK_CAP = 0.05
+
+#: Deterministic payload template; segments slice out of it.
+_PAYLOAD_TEMPLATE = bytes(range(256)) * 256
+
+
+def make_payload(seq: int, size: int) -> bytes:
+    """Deterministic payload for segment ``seq`` (cheap, verifiable)."""
+    offset = (seq * 7) % 256
+    return _PAYLOAD_TEMPLATE[offset:offset + size]
+
+
+class ServedConnection:
+    """Sender-side state of one client connection (N subflow cores)."""
+
+    def __init__(
+        self,
+        conn_id: int,
+        params: dict,
+        n_paths: int,
+        clock,
+        *,
+        host_model: HostPowerModel,
+    ):
+        self.conn_id = conn_id
+        self.params = params
+        self.clock = clock
+        self.controller_name = str(params.get("controller", "lia"))
+        self.controller = create_controller(self.controller_name)
+        total_segments = int(params["total_segments"])
+        self.payload_bytes = int(params.get("payload_bytes", DEFAULT_PAYLOAD_BYTES))
+        if not 1 <= self.payload_bytes <= 65000:
+            raise ConfigurationError(
+                f"payload_bytes out of range: {self.payload_bytes}")
+        self.supply = SegmentSupply(total_segments)
+        self.cores: List[SenderCore] = [
+            SenderCore(
+                self.supply,
+                clock=clock,
+                subflow_index=i,
+                mss=self.payload_bytes,
+                ecn_capable=self.controller.ecn_capable,
+                path=PathProfile(base_rtt=0.05, switch_hops=0),
+            )
+            for i in range(n_paths)
+        ]
+        for core in self.cores:
+            core.controller = self.controller
+        self.controller.attach(self.cores)
+        #: path_id -> (sendto-capable transport, client address)
+        self.paths: Dict[int, Tuple[object, Addr]] = {}
+        self.energy = TransferEnergyAccount(host_model)
+        self._last_acked = [0] * n_paths
+        self._last_sample: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.last_activity = clock()
+        self.client_done = False
+        self._driver: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------- control
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.cores)
+
+    @property
+    def running(self) -> bool:
+        return self.started_at is not None and not self.supply.completed
+
+    def add_path(self, path_id: int, transport, addr: Addr) -> bool:
+        """Register a HELLO'd path; True when all paths are present."""
+        self.paths[path_id] = (transport, addr)
+        self.last_activity = self.clock()
+        return len(self.paths) == self.n_paths
+
+    def start(self) -> None:
+        """All paths are up: open every subflow window."""
+        now = self.clock()
+        self.started_at = now
+        self._sample_energy(now)  # anchor the trapezoid at t0
+        for core in self.cores:
+            core.start()
+        self.flush()
+
+    def flush(self) -> None:
+        """Move every core's pending emits onto the wire."""
+        for core in self.cores:
+            ops = core.take_emits()
+            if not ops:
+                continue
+            entry = self.paths.get(core.subflow_index)
+            if entry is None:
+                continue
+            transport, addr = entry
+            now = self.clock()
+            for op in ops:
+                datagram = encode_data(
+                    self.conn_id,
+                    core.subflow_index,
+                    op.seq,
+                    now,
+                    make_payload(op.seq, self.payload_bytes),
+                    ecn_capable=core.ecn_capable,
+                )
+                transport.sendto(datagram, addr)
+
+    def on_ack(self, segment: AckSegment) -> None:
+        """Feed one client ACK into its path's core."""
+        if not 0 <= segment.path_id < self.n_paths:
+            return
+        self.last_activity = self.clock()
+        core = self.cores[segment.path_id]
+        if not core.started:
+            return
+        sack = segment.sack_seqs[0] if segment.sack_seqs else -1
+        core.on_ack(
+            segment.ack_seq,
+            sack_seq=sack,
+            ecn_echo=segment.ecn_echo,
+            echo_time=segment.echo_time,
+        )
+        self.flush()
+
+    def tick(self) -> float:
+        """Fire due RTOs and sample energy; returns the next deadline."""
+        deadline = float("inf")
+        for core in self.cores:
+            deadline = min(deadline, core.on_tick())
+        self.flush()
+        now = self.clock()
+        if (self._last_sample is not None
+                and now - self._last_sample >= TICK_CAP / 2):
+            self._sample_energy(now)
+        return deadline
+
+    def _sample_energy(self, now: float) -> None:
+        """Push one (throughput, rtt)-per-path power sample at ``now``."""
+        dt = (now - self._last_sample) if self._last_sample is not None else 0.0
+        paths = []
+        for i, core in enumerate(self.cores):
+            delta = core.acked - self._last_acked[i]
+            self._last_acked[i] = core.acked
+            bps = delta * self.payload_bytes * 8 / dt if dt > 0 else 0.0
+            paths.append((bps, core.rtt))
+        self.energy.sample(now, paths)
+        self._last_sample = now
+
+    def finalize(self) -> None:
+        """Take a closing energy sample so short transfers integrate too."""
+        now = self.clock()
+        if self._last_sample is not None and now > self._last_sample:
+            self._sample_energy(now)
+
+    # ------------------------------------------------------------ reporting
+
+    def elapsed(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return max(self.clock() - self.started_at, 0.0)
+
+    def snapshot(self) -> dict:
+        """Per-subflow cwnd/throughput/energy JSON for ``/metrics``."""
+        elapsed = self.elapsed()
+        subflows = []
+        for core in self.cores:
+            goodput = (
+                core.acked * self.payload_bytes * 8 / elapsed if elapsed > 0 else 0.0
+            )
+            subflows.append({
+                "path_id": core.subflow_index,
+                "cwnd": core.cwnd,
+                "ssthresh": min(core.ssthresh, 1e12),
+                "srtt_s": core.srtt,
+                "rtt_s": core.rtt,
+                "base_rtt_s": core.base_rtt if core.base_rtt != float("inf") else None,
+                "rto_s": core.rto,
+                "acked_segments": core.acked,
+                "packets_sent": core.packets_sent,
+                "retransmitted": core.retransmitted,
+                "fast_retransmits": core.fast_retransmits,
+                "timeouts": core.timeouts,
+                "loss_events": core.loss_events,
+                "throughput_bps": goodput,
+            })
+        total_bits = self.supply.acked * self.payload_bytes * 8
+        return {
+            "conn_id": self.conn_id,
+            "controller": self.controller_name,
+            "n_subflows": self.n_paths,
+            "payload_bytes": self.payload_bytes,
+            "total_segments": self.supply.total,
+            "acked_segments": self.supply.acked,
+            "completed": self.supply.completed,
+            "elapsed_s": elapsed,
+            "aggregate_goodput_bps": total_bits / elapsed if elapsed > 0 else 0.0,
+            "energy_j": self.energy.energy_j,
+            "mean_power_w": self.energy.mean_power_w,
+            "subflows": subflows,
+        }
+
+
+class TransportServer:
+    """N UDP subflow sockets + connection registry + metrics endpoint."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        n_ports: int = 2,
+        loss_rate: float = 0.0,
+        loss_seed: Optional[int] = None,
+        metrics_port: Optional[int] = None,
+        host_model: Optional[HostPowerModel] = None,
+        idle_timeout: float = IDLE_TIMEOUT,
+    ):
+        if n_ports < 1:
+            raise ConfigurationError(f"need at least one port, got {n_ports}")
+        self.host = host
+        self.base_port = base_port
+        self.n_ports = n_ports
+        self.loss_rate = loss_rate
+        self.loss_seed = loss_seed
+        self.metrics_port = metrics_port
+        self.host_model = host_model if host_model is not None else default_wired_host()
+        self.idle_timeout = idle_timeout
+        self.ports: List[int] = []
+        self.connections: Dict[int, ServedConnection] = {}
+        self.completed_connections = 0
+        self.session = obs.ObsSession(label="transport-serve")
+        self._hello_counter = self.session.registry.counter("transport.hellos")
+        self._ack_counter = self.session.registry.counter("transport.acks_received")
+        self._endpoints: List[DatagramEndpoint] = []
+        self._transports: List[object] = []
+        self._raw_transports: List[object] = []
+        self._metrics: Optional[MetricsHttpServer] = None
+        self._drivers: Dict[int, asyncio.Task] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._conn_completed: "asyncio.Queue[int]" = None  # type: ignore[assignment]
+
+    # ---------------------------------------------------------------- clock
+
+    def now(self) -> float:
+        assert self._loop is not None
+        return self._loop.time()
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> List[int]:
+        """Bind all subflow sockets (and the metrics endpoint); returns
+        the bound UDP ports, one per path."""
+        self._loop = asyncio.get_running_loop()
+        self._conn_completed = asyncio.Queue()
+        for i in range(self.n_ports):
+            port = 0 if self.base_port == 0 else self.base_port + i
+            transport, endpoint = await open_endpoint(
+                self._make_handler(i), local_addr=(self.host, port))
+            send_transport: object = transport
+            if self.loss_rate > 0.0:
+                seed = None if self.loss_seed is None else self.loss_seed + i
+                send_transport = LossyTransport(transport, self.loss_rate, seed)
+            self._raw_transports.append(transport)
+            self._transports.append(send_transport)
+            self._endpoints.append(endpoint)
+            self.ports.append(endpoint.local_port())
+        if self.metrics_port is not None:
+            self._metrics = MetricsHttpServer(
+                {
+                    "/metrics": self.metrics_snapshot,
+                    "/manifest": self.manifest_snapshot,
+                    "/healthz": lambda: {"status": "ok", "ports": self.ports},
+                },
+                host=self.host,
+                port=self.metrics_port,
+            )
+            self.metrics_port = await self._metrics.start()
+        return list(self.ports)
+
+    async def stop(self) -> None:
+        """Tear everything down."""
+        for task in list(self._drivers.values()):
+            task.cancel()
+        for task in list(self._drivers.values()):
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._drivers.clear()
+        for transport in self._raw_transports:
+            transport.close()
+        self._raw_transports.clear()
+        self._transports.clear()
+        self._endpoints.clear()
+        if self._metrics is not None:
+            await self._metrics.stop()
+            self._metrics = None
+
+    async def wait_connection_complete(self) -> int:
+        """Block until some connection finishes; returns its conn id."""
+        return await self._conn_completed.get()
+
+    # ------------------------------------------------------------- datagrams
+
+    def _make_handler(self, path_index: int):
+        def handler(segment: Segment, addr: Addr) -> None:
+            self._on_segment(path_index, segment, addr)
+        return handler
+
+    def _on_segment(self, path_index: int, segment: Segment, addr: Addr) -> None:
+        if isinstance(segment, HelloSegment):
+            self._on_hello(path_index, segment, addr)
+        elif isinstance(segment, AckSegment):
+            conn = self.connections.get(segment.conn_id)
+            if conn is not None:
+                self._ack_counter.inc()
+                conn.on_ack(segment)
+        elif isinstance(segment, ByeSegment):
+            conn = self.connections.get(segment.conn_id)
+            if conn is not None:
+                conn.client_done = True
+                conn.last_activity = self.now()
+
+    def _on_hello(self, path_index: int, segment: HelloSegment, addr: Addr) -> None:
+        self._hello_counter.inc()
+        conn = self.connections.get(segment.conn_id)
+        if (conn is not None and conn.started_at is not None
+                and segment.conn_id not in self._drivers):
+            # The transfer under this id already finished (clients in
+            # fresh processes may reuse ids): supersede, don't replay.
+            conn = None
+        if conn is None:
+            try:
+                n_subflows = int(segment.params["n_subflows"])
+                if not 1 <= n_subflows <= self.n_ports:
+                    raise ConfigurationError(
+                        f"client asked for {n_subflows} subflows, "
+                        f"server has {self.n_ports} ports")
+                conn = ServedConnection(
+                    segment.conn_id,
+                    segment.params,
+                    n_subflows,
+                    self.now,
+                    host_model=self.host_model,
+                )
+            except (KeyError, ValueError, ConfigurationError):
+                return  # malformed or unsatisfiable HELLO: ignore it
+            self.connections[segment.conn_id] = conn
+        transport = self._transports[path_index]
+        # HELLO is idempotent — clients retransmit until the HELLO_ACK
+        # gets through; re-register the (possibly re-mapped) address.
+        all_up = conn.add_path(segment.path_id, transport, addr)
+        transport.sendto(
+            encode_hello_ack(
+                segment.conn_id, segment.path_id,
+                {"payload_bytes": conn.payload_bytes,
+                 "total_segments": conn.supply.total}),
+            addr)
+        if all_up and conn.started_at is None:
+            conn.start()
+            self._drivers[conn.conn_id] = asyncio.ensure_future(
+                self._drive(conn))
+
+    # -------------------------------------------------------------- driving
+
+    async def _drive(self, conn: ServedConnection) -> None:
+        """Per-connection loop: RTO timers, energy sampling, teardown."""
+        try:
+            while True:
+                deadline = conn.tick()
+                now = self.now()
+                if conn.supply.completed:
+                    # Tell the client (best effort) and linger briefly so
+                    # straggling ACKs don't spawn ICMP noise.
+                    conn.finalize()
+                    for path_id, (transport, addr) in conn.paths.items():
+                        transport.sendto(encode_bye(conn.conn_id, path_id), addr)
+                    self.completed_connections += 1
+                    self._conn_completed.put_nowait(conn.conn_id)
+                    return
+                if conn.client_done or (
+                    now - conn.last_activity > self.idle_timeout
+                ):
+                    conn.finalize()
+                    self._conn_completed.put_nowait(conn.conn_id)
+                    return
+                sleep_for = min(max(deadline - now, 0.001), TICK_CAP)
+                await asyncio.sleep(sleep_for)
+        finally:
+            self._drivers.pop(conn.conn_id, None)
+
+    # ------------------------------------------------------------- reporting
+
+    def metrics_snapshot(self) -> dict:
+        """The ``/metrics`` document."""
+        return {
+            "server": {
+                "ports": self.ports,
+                "loss_rate": self.loss_rate,
+                "active_connections": sum(
+                    1 for c in self.connections.values() if c.running),
+                "completed_connections": self.completed_connections,
+                "bad_datagrams": sum(e.bad_datagrams for e in self._endpoints),
+                "datagrams_received": sum(
+                    e.datagrams_received for e in self._endpoints),
+            },
+            "connections": {
+                str(cid): conn.snapshot()
+                for cid, conn in sorted(self.connections.items())
+            },
+            "registry": self.session.registry.snapshot(),
+        }
+
+    def manifest_snapshot(self) -> dict:
+        """The ``/manifest`` document (run provenance)."""
+        self.session.annotate(
+            ports=list(self.ports),
+            loss_rate=self.loss_rate,
+            connections={
+                str(cid): conn.snapshot()
+                for cid, conn in sorted(self.connections.items())
+            },
+        )
+        return self.session.manifest().to_json_dict()
+

@@ -1,0 +1,218 @@
+"""Struct-packed datagram format for the UDP transport.
+
+One datagram carries exactly one segment. Every segment starts with a
+common 8-byte header followed by a type-specific body (all integers are
+network byte order):
+
+=========  =====  ====================================================
+offset     size   field
+=========  =====  ====================================================
+0          1      magic, ``0xA7``
+1          1      wire version, currently 1
+2          1      segment type (DATA=1, ACK=2, HELLO=3, HELLO_ACK=4,
+                  BYE=5)
+3          1      flags (bit 0: ECN-capable on DATA / ECN echo on ACK)
+4          2      connection id
+6          2      path id (subflow index)
+=========  =====  ====================================================
+
+Bodies:
+
+* DATA — ``seq`` (u64), ``sent_time`` (f64), ``payload_len`` (u16),
+  payload bytes. ``sent_time`` is the sender clock echoed back by the
+  ACK; the sender computes RTT as ``now - echo_time`` so clocks never
+  need to agree across hosts.
+* ACK — ``ack_seq`` (u64), ``echo_time`` (f64), ``n_sack`` (u8), then
+  ``n_sack`` u64 SACKed sequence numbers (this transport acknowledges
+  per segment, so one block suffices; the count field keeps the format
+  range-capable).
+* HELLO / HELLO_ACK — ``length`` (u16) + UTF-8 JSON parameters
+  (controller name, subflow count, transfer size, payload bytes).
+* BYE — empty body; either side signals teardown.
+
+:func:`decode` raises :class:`WireError` on *any* malformed input —
+truncation, bad magic, unknown version or type, lengths that disagree
+with the buffer — and never raises anything else, so a datagram endpoint
+can treat every arriving packet as hostile and simply drop the bad ones.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import List, Union
+
+MAGIC = 0xA7
+WIRE_VERSION = 1
+
+TYPE_DATA = 1
+TYPE_ACK = 2
+TYPE_HELLO = 3
+TYPE_HELLO_ACK = 4
+TYPE_BYE = 5
+
+FLAG_ECN = 0x01
+
+_HEADER = struct.Struct("!BBBBHH")
+_DATA_BODY = struct.Struct("!QdH")
+_ACK_BODY = struct.Struct("!QdB")
+_SACK_ENTRY = struct.Struct("!Q")
+_JSON_LEN = struct.Struct("!H")
+
+#: Largest payload a DATA segment may carry (u16 length field; also keeps
+#: datagrams under typical loopback/jumbo MTUs).
+MAX_PAYLOAD = 65000
+
+
+class WireError(ValueError):
+    """A datagram failed to parse (truncated, corrupt, or unknown)."""
+
+
+@dataclass(frozen=True)
+class DataSegment:
+    conn_id: int
+    path_id: int
+    seq: int
+    sent_time: float
+    payload: bytes
+    ecn_capable: bool = False
+
+
+@dataclass(frozen=True)
+class AckSegment:
+    conn_id: int
+    path_id: int
+    ack_seq: int
+    echo_time: float
+    sack_seqs: "tuple[int, ...]" = ()
+    ecn_echo: bool = False
+
+
+@dataclass(frozen=True)
+class HelloSegment:
+    conn_id: int
+    path_id: int
+    params: dict
+
+
+@dataclass(frozen=True)
+class HelloAckSegment:
+    conn_id: int
+    path_id: int
+    params: dict
+
+
+@dataclass(frozen=True)
+class ByeSegment:
+    conn_id: int
+    path_id: int
+
+
+Segment = Union[DataSegment, AckSegment, HelloSegment, HelloAckSegment, ByeSegment]
+
+
+# ------------------------------------------------------------------- encode
+
+def _header(seg_type: int, flags: int, conn_id: int, path_id: int) -> bytes:
+    return _HEADER.pack(MAGIC, WIRE_VERSION, seg_type, flags, conn_id, path_id)
+
+
+def encode_data(conn_id: int, path_id: int, seq: int, sent_time: float,
+                payload: bytes, *, ecn_capable: bool = False) -> bytes:
+    if len(payload) > MAX_PAYLOAD:
+        raise WireError(f"payload too large: {len(payload)} > {MAX_PAYLOAD}")
+    flags = FLAG_ECN if ecn_capable else 0
+    return (_header(TYPE_DATA, flags, conn_id, path_id)
+            + _DATA_BODY.pack(seq, sent_time, len(payload)) + payload)
+
+
+def encode_ack(conn_id: int, path_id: int, ack_seq: int, echo_time: float,
+               sack_seqs: "List[int] | tuple[int, ...]" = (),
+               *, ecn_echo: bool = False) -> bytes:
+    if len(sack_seqs) > 255:
+        raise WireError(f"too many SACK blocks: {len(sack_seqs)}")
+    flags = FLAG_ECN if ecn_echo else 0
+    out = (_header(TYPE_ACK, flags, conn_id, path_id)
+           + _ACK_BODY.pack(ack_seq, echo_time, len(sack_seqs)))
+    for s in sack_seqs:
+        out += _SACK_ENTRY.pack(s)
+    return out
+
+
+def _encode_json(seg_type: int, conn_id: int, path_id: int, params: dict) -> bytes:
+    blob = json.dumps(params, separators=(",", ":"), sort_keys=True).encode()
+    if len(blob) > 0xFFFF:
+        raise WireError(f"parameter blob too large: {len(blob)} bytes")
+    return _header(seg_type, 0, conn_id, path_id) + _JSON_LEN.pack(len(blob)) + blob
+
+
+def encode_hello(conn_id: int, path_id: int, params: dict) -> bytes:
+    return _encode_json(TYPE_HELLO, conn_id, path_id, params)
+
+
+def encode_hello_ack(conn_id: int, path_id: int, params: dict) -> bytes:
+    return _encode_json(TYPE_HELLO_ACK, conn_id, path_id, params)
+
+
+def encode_bye(conn_id: int, path_id: int) -> bytes:
+    return _header(TYPE_BYE, 0, conn_id, path_id)
+
+
+# ------------------------------------------------------------------- decode
+
+def decode(data: bytes) -> Segment:
+    """Parse one datagram into its segment, or raise :class:`WireError`."""
+    if len(data) < _HEADER.size:
+        raise WireError(f"short datagram: {len(data)} bytes")
+    magic, version, seg_type, flags, conn_id, path_id = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise WireError(f"bad magic 0x{magic:02x}")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    body = data[_HEADER.size:]
+    if seg_type == TYPE_DATA:
+        if len(body) < _DATA_BODY.size:
+            raise WireError("truncated DATA body")
+        seq, sent_time, length = _DATA_BODY.unpack_from(body)
+        payload = body[_DATA_BODY.size:]
+        if len(payload) != length:
+            raise WireError(
+                f"DATA length mismatch: header says {length}, got {len(payload)}")
+        return DataSegment(conn_id, path_id, seq, sent_time, payload,
+                           ecn_capable=bool(flags & FLAG_ECN))
+    if seg_type == TYPE_ACK:
+        if len(body) < _ACK_BODY.size:
+            raise WireError("truncated ACK body")
+        ack_seq, echo_time, n_sack = _ACK_BODY.unpack_from(body)
+        rest = body[_ACK_BODY.size:]
+        if len(rest) != n_sack * _SACK_ENTRY.size:
+            raise WireError(
+                f"ACK SACK length mismatch: {n_sack} blocks, {len(rest)} bytes")
+        sacks = tuple(
+            _SACK_ENTRY.unpack_from(rest, i * _SACK_ENTRY.size)[0]
+            for i in range(n_sack)
+        )
+        return AckSegment(conn_id, path_id, ack_seq, echo_time, sacks,
+                          ecn_echo=bool(flags & FLAG_ECN))
+    if seg_type in (TYPE_HELLO, TYPE_HELLO_ACK):
+        if len(body) < _JSON_LEN.size:
+            raise WireError("truncated HELLO body")
+        (length,) = _JSON_LEN.unpack_from(body)
+        blob = body[_JSON_LEN.size:]
+        if len(blob) != length:
+            raise WireError(
+                f"HELLO length mismatch: header says {length}, got {len(blob)}")
+        try:
+            params = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"bad HELLO parameters: {exc}") from exc
+        if not isinstance(params, dict):
+            raise WireError("HELLO parameters must be a JSON object")
+        cls = HelloSegment if seg_type == TYPE_HELLO else HelloAckSegment
+        return cls(conn_id, path_id, params)
+    if seg_type == TYPE_BYE:
+        if body:
+            raise WireError(f"BYE carries {len(body)} unexpected bytes")
+        return ByeSegment(conn_id, path_id)
+    raise WireError(f"unknown segment type {seg_type}")

@@ -411,3 +411,39 @@ def test_manifest_captures_cpu_count():
     del data["cpu_count"]
     again = RunManifest.from_json_dict(data)
     assert again.cpu_count is None
+
+
+def test_ambient_session_is_task_local():
+    """Two concurrent asyncio tasks each get their own ambient session.
+
+    The ambient-session slot is a ContextVar, so ``obs.session()`` in one
+    task must be invisible to the other — the property the real UDP
+    transport relies on when serve and fetch share one event loop.
+    """
+    import asyncio
+
+    async def worker(label, started, release):
+        with obs.session(label=label) as s:
+            s.registry.counter(f"{label}.n").inc()
+            started.set()
+            await release.wait()
+            active = obs.active_session()
+            assert active is s
+            assert active.label == label
+            return sorted(active.registry.snapshot())
+
+    async def scenario():
+        a_started, b_started = asyncio.Event(), asyncio.Event()
+        release = asyncio.Event()
+        task_a = asyncio.create_task(worker("iso-a", a_started, release))
+        task_b = asyncio.create_task(worker("iso-b", b_started, release))
+        # Both sessions are open simultaneously before either closes.
+        await asyncio.gather(a_started.wait(), b_started.wait())
+        assert obs.active_session() is None  # parent context untouched
+        release.set()
+        return await asyncio.gather(task_a, task_b)
+
+    counters_a, counters_b = asyncio.run(scenario())
+    assert counters_a == ["iso-a.n"]
+    assert counters_b == ["iso-b.n"]
+    assert obs.active_session() is None

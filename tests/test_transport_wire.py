@@ -1,0 +1,167 @@
+"""Wire-codec round-trip and fuzz tests.
+
+The decode path is the trust boundary of the UDP transport: every byte
+string a socket hands us must either parse into a segment or raise
+:class:`WireError` — anything else (KeyError, struct.error, an infinite
+loop) is a remote crash. The fuzz tests below hammer that contract.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport import wire
+from repro.transport.wire import (
+    AckSegment,
+    ByeSegment,
+    DataSegment,
+    HelloAckSegment,
+    HelloSegment,
+    WireError,
+    decode,
+    encode_ack,
+    encode_bye,
+    encode_data,
+    encode_hello,
+    encode_hello_ack,
+)
+
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+times = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+# ------------------------------------------------------------- round trips
+
+@given(conn=u16, path=u16, seq=u64, t=times,
+       payload=st.binary(max_size=2000), ecn=st.booleans())
+def test_data_round_trip(conn, path, seq, t, payload, ecn):
+    seg = decode(encode_data(conn, path, seq, t, payload, ecn_capable=ecn))
+    assert isinstance(seg, DataSegment)
+    assert (seg.conn_id, seg.path_id, seg.seq) == (conn, path, seq)
+    assert seg.sent_time == t
+    assert seg.payload == payload
+    assert seg.ecn_capable == ecn
+
+
+@given(conn=u16, path=u16, ack=u64, echo=times,
+       sacks=st.lists(u64, max_size=10), ecn=st.booleans())
+def test_ack_round_trip(conn, path, ack, echo, sacks, ecn):
+    seg = decode(encode_ack(conn, path, ack, echo, sacks, ecn_echo=ecn))
+    assert isinstance(seg, AckSegment)
+    assert (seg.conn_id, seg.path_id, seg.ack_seq) == (conn, path, ack)
+    assert seg.echo_time == echo
+    assert seg.sack_seqs == tuple(sacks)
+    assert seg.ecn_echo == ecn
+
+
+@given(conn=u16, path=u16,
+       params=st.dictionaries(
+           st.text(min_size=1, max_size=10),
+           st.one_of(st.integers(-10**9, 10**9), st.text(max_size=20),
+                     st.booleans()),
+           max_size=8))
+def test_hello_round_trip(conn, path, params):
+    seg = decode(encode_hello(conn, path, params))
+    assert isinstance(seg, HelloSegment)
+    assert seg.params == params
+    ackseg = decode(encode_hello_ack(conn, path, params))
+    assert isinstance(ackseg, HelloAckSegment)
+    assert ackseg.params == params
+
+
+def test_bye_round_trip():
+    seg = decode(encode_bye(7, 3))
+    assert isinstance(seg, ByeSegment)
+    assert (seg.conn_id, seg.path_id) == (7, 3)
+
+
+# ------------------------------------------------------------------- limits
+
+def test_data_payload_too_large_rejected_at_encode():
+    with pytest.raises(WireError):
+        encode_data(1, 0, 0, 0.0, b"x" * (wire.MAX_PAYLOAD + 1))
+
+
+def test_ack_too_many_sacks_rejected_at_encode():
+    with pytest.raises(WireError):
+        encode_ack(1, 0, 0, 0.0, list(range(256)))
+
+
+# --------------------------------------------------------------------- fuzz
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300)
+def test_decode_never_raises_anything_but_wireerror(data):
+    try:
+        decode(data)
+    except WireError:
+        pass
+
+
+@given(st.binary(min_size=1, max_size=300), st.data())
+@settings(max_examples=300)
+def test_truncating_a_valid_datagram_never_crashes(payload, data):
+    datagram = encode_data(5, 1, 42, 1.5, payload)
+    cut = data.draw(st.integers(min_value=0, max_value=len(datagram) - 1))
+    try:
+        seg = decode(datagram[:cut])
+    except WireError:
+        return
+    # The only parse a prefix may produce is an *empty-payload* DATA
+    # segment whose header length field happens to match the cut.
+    assert isinstance(seg, DataSegment)
+
+
+@given(st.data())
+@settings(max_examples=300)
+def test_flipping_one_byte_never_crashes(data):
+    datagram = bytearray(encode_ack(9, 2, 1000, 2.5, [1004, 1007]))
+    pos = data.draw(st.integers(min_value=0, max_value=len(datagram) - 1))
+    val = data.draw(st.integers(min_value=0, max_value=255))
+    datagram[pos] = val
+    try:
+        seg = decode(bytes(datagram))
+    except WireError:
+        return
+    assert isinstance(seg, (AckSegment, DataSegment, HelloSegment,
+                            HelloAckSegment, ByeSegment))
+
+
+def test_bad_magic_and_version_and_type_rejected():
+    good = encode_bye(1, 1)
+    with pytest.raises(WireError):
+        decode(b"\x00" + good[1:])
+    with pytest.raises(WireError):
+        decode(good[:1] + b"\x63" + good[2:])
+    with pytest.raises(WireError):
+        decode(good[:2] + b"\x7f" + good[3:])
+
+
+def test_hello_with_non_object_json_rejected():
+    blob = b"[1,2,3]"
+    datagram = (struct.pack("!BBBBHH", wire.MAGIC, wire.WIRE_VERSION,
+                            wire.TYPE_HELLO, 0, 1, 0)
+                + struct.pack("!H", len(blob)) + blob)
+    with pytest.raises(WireError):
+        decode(datagram)
+
+
+def test_hello_with_invalid_utf8_rejected():
+    blob = b"\xff\xfe{}"
+    datagram = (struct.pack("!BBBBHH", wire.MAGIC, wire.WIRE_VERSION,
+                            wire.TYPE_HELLO, 0, 1, 0)
+                + struct.pack("!H", len(blob)) + blob)
+    with pytest.raises(WireError):
+        decode(datagram)
+
+
+def test_length_field_mismatch_rejected():
+    datagram = bytearray(encode_data(1, 0, 7, 0.0, b"abcdef"))
+    # Header claims 6 payload bytes; strip two so the buffer disagrees.
+    with pytest.raises(WireError):
+        decode(bytes(datagram[:-2]))
