@@ -24,6 +24,7 @@ from repro.bench.cases import (
     fluid_fattree_step_batch,
     histogram_observe_cost,
     null_span_cost,
+    recorder_overhead_ratio,
     traced_packet_transfer,
 )
 
@@ -58,6 +59,13 @@ def test_counter_inc_cost(benchmark):
 def test_histogram_observe_cost(benchmark):
     per_call = run_once(benchmark, histogram_observe_cost)
     assert per_call < 5e-6
+
+
+def test_recorder_overhead_under_five_percent(benchmark):
+    """Series + flight recorders attached: <5% drag on the transfer."""
+    ratio, bare_s, live_s = run_once(benchmark, recorder_overhead_ratio)
+    assert bare_s > 0 and live_s > 0
+    assert ratio < 1.05
 
 
 def main(argv=None) -> int:

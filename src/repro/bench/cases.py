@@ -37,6 +37,7 @@ __all__ = [
     "packet_pooled_lossy",
     "packet_retransmit",
     "packet_transfer",
+    "recorder_overhead_ratio",
     "spec_hash_cost",
     "traced_packet_transfer",
     "transport_loopback_transfer",
@@ -391,6 +392,46 @@ def histogram_observe_cost(n: int = 200_000) -> float:
     return (MONOTONIC_CLOCK() - t0) / n
 
 
+def recorder_overhead_ratio(repeats: int = 3):
+    """Overhead the live-telemetry layer adds to the packet transfer.
+
+    Interleaves ``repeats`` transfers under a plain obs session (the
+    pre-existing ambient-counter cost, gated separately by
+    ``obs.packet_engine_traced``) with ``repeats`` transfers whose
+    session carries the full live layer — a
+    :class:`~repro.obs.SeriesRecorder`, a
+    :class:`~repro.obs.FlightRecorder`, and a deliberately generous
+    cadence (10 series samples + 200 flight events per ~60 ms transfer,
+    nearly two orders of magnitude above the transport server's 2 Hz
+    sampling default) — and compares best-of-N wall times.  Returns
+    ``(ratio, base_s, live_s)``.
+    """
+    def base():
+        with obs.session():
+            return packet_transfer()
+
+    def live():
+        with obs.session() as session:
+            recorder = session.attach_series(interval=0.0, capacity=256)
+            flight = session.attach_flight(capacity=1024)
+            events = packet_transfer()
+            for _ in range(10):
+                recorder.sample()
+            for i in range(200):
+                flight.record("loss", path=i & 1, total=i)
+            return events
+
+    base_best = live_best = float("inf")
+    for _ in range(repeats):
+        t0 = MONOTONIC_CLOCK()
+        assert base() > 10_000
+        base_best = min(base_best, MONOTONIC_CLOCK() - t0)
+        t0 = MONOTONIC_CLOCK()
+        assert live() > 10_000
+        live_best = min(live_best, MONOTONIC_CLOCK() - t0)
+    return live_best / base_best, base_best, live_best
+
+
 def _record_per_call(per_call: float) -> None:
     """Expose a microbench's per-call cost in the case metrics snapshot."""
     session = obs.active_session()
@@ -428,3 +469,12 @@ def _obs_histogram_observe(ctx: BenchContext):
     per_call = histogram_observe_cost()
     assert per_call < 5e-6
     _record_per_call(per_call)
+
+
+@register("obs.recorder_overhead", suites=("tier1", "obs"),
+          description="series+flight recorder drag on the packet transfer "
+                      "(gated <5%)",
+          manages_session=True)
+def _obs_recorder_overhead(ctx: BenchContext):
+    ratio, _, _ = recorder_overhead_ratio()
+    assert ratio < 1.05, f"live-telemetry overhead {ratio:.3f}x exceeds 5%"

@@ -154,13 +154,27 @@ class CampaignExecutor:
             else:
                 pending.append(i)
 
+        def emit_progress() -> None:
+            """One streaming progress event from the outcomes collected
+            so far — what ``obs serve`` tails live."""
+            done = sum(1 for o in outcomes if o is not None)
+            failed = sum(1 for o in outcomes
+                         if o is not None and not o.ok)
+            hits = sum(1 for o in outcomes if o is not None and o.cached)
+            tel.progress(done, len(specs), failed=failed, cache_hits=hits)
+
+        for i in pending:
+            tel.run_queued(specs[i])
+        emit_progress()  # the cache-scan baseline (hits count as done)
+
         if pending:
             if self.jobs <= 1:
                 for i in pending:
                     tel.run_started(specs[i])
                     outcomes[i] = self._run_inline(specs[i])
+                    emit_progress()
             else:
-                self._run_pooled(specs, pending, outcomes, tel)
+                self._run_pooled(specs, pending, outcomes, tel, emit_progress)
 
         for i, outcome in enumerate(outcomes):
             assert outcome is not None
@@ -176,6 +190,12 @@ class CampaignExecutor:
             else:
                 tel.run_failed(outcome.spec, outcome.error or "unknown error",
                                outcome.wall_s, outcome.attempts)
+                obs.record_event(
+                    "campaign_run_failed", campaign=campaign_name,
+                    spec_hash=outcome.spec.content_hash(),
+                    topology=outcome.spec.topology, seed=outcome.spec.seed,
+                    error=outcome.error or "unknown error",
+                    attempts=outcome.attempts)
 
         if self.cache is not None:
             for name, value in self.cache.stats.as_dict().items():
@@ -226,7 +246,8 @@ class CampaignExecutor:
 
     def _run_pooled(self, specs: Sequence[RunSpec], pending: List[int],
                     outcomes: List[Optional[RunOutcome]],
-                    tel: CampaignTelemetry) -> None:
+                    tel: CampaignTelemetry,
+                    emit_progress: Callable[[], None] = lambda: None) -> None:
         """Fan out over a process pool, collecting results in spec order.
 
         Each pending index gets up to ``1 + retries`` submissions; a
@@ -250,6 +271,7 @@ class CampaignExecutor:
                             spec=specs[i], payload=payload,
                             wall_s=time.perf_counter() - starts[i],
                             attempts=attempts)
+                        emit_progress()
                         break
                     except Exception as exc:  # noqa: BLE001
                         if isinstance(exc, FuturesTimeoutError):
@@ -272,6 +294,7 @@ class CampaignExecutor:
                                 spec=specs[i], payload=None,
                                 wall_s=time.perf_counter() - starts[i],
                                 error=error, attempts=attempts)
+                            emit_progress()
                             break
                         attempts += 1
                         fut = pool.submit(self.run_fn, specs[i])

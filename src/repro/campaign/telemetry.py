@@ -126,11 +126,34 @@ class CampaignTelemetry:
         self._t0 = time.perf_counter()
         self.emit("campaign_started", campaign=name, n_runs=n_runs, jobs=jobs)
 
+    def run_queued(self, spec) -> None:
+        self.incr("runs_queued")
+        self.emit("run_queued", spec_hash=spec.content_hash(),
+                  topology=spec.topology, algorithm=spec.algorithm,
+                  n_subflows=spec.n_subflows, seed=spec.seed)
+
     def run_started(self, spec) -> None:
         self.incr("runs_started")
         self.emit("run_started", spec_hash=spec.content_hash(),
                   topology=spec.topology, algorithm=spec.algorithm,
                   n_subflows=spec.n_subflows, seed=spec.seed)
+
+    def progress(self, done: int, total: int, *, failed: int = 0,
+                 cache_hits: int = 0) -> Dict[str, Any]:
+        """Emit one streaming progress event (with a naive rate ETA).
+
+        ``eta_s`` extrapolates the observed completion rate over the
+        remaining runs; None until at least one run has finished (or
+        once everything has).
+        """
+        elapsed = time.perf_counter() - self._t0
+        eta = None
+        if 0 < done < total and elapsed > 0:
+            eta = elapsed * (total - done) / done
+        return self.emit(
+            "progress", done=done, total=total, failed=failed,
+            cache_hits=cache_hits, elapsed_s=round(elapsed, 6),
+            eta_s=round(eta, 6) if eta is not None else None)
 
     def run_completed(self, spec, payload: Dict[str, Any], wall_s: float,
                       *, cached: bool, attempts: int = 1) -> None:

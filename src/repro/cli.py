@@ -16,6 +16,8 @@ Observability (docs/OBSERVABILITY.md):
 
     python -m repro fig08 --trace fig08.trace.json --metrics fig08.metrics.jsonl
     python -m repro obs report fig08.trace.json fig08.metrics.jsonl
+    python -m repro obs serve .repro-cache/campaign.log.jsonl   # live dashboard
+    python -m repro obs promcheck metrics.prom
 
 Benchmarks + regression gate (docs/BENCHMARKS.md):
 
@@ -328,11 +330,68 @@ def build_obs_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report", help="summarize artifact files (kind is sniffed)")
     report.add_argument("files", nargs="+", metavar="FILE")
+
+    serve = sub.add_parser(
+        "serve", help="tail a campaign telemetry JSONL into a live "
+                      "dashboard (/dashboard, /metrics.prom, /series)")
+    serve.add_argument("log", metavar="JSONL",
+                       help="telemetry log to follow (e.g. "
+                            ".repro-cache/campaign.log.jsonl); may not "
+                            "exist yet")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=9400, metavar="P",
+                       help="HTTP port (default: 9400, 0 = ephemeral)")
+    serve.add_argument("--interval", type=float, default=1.0, metavar="S",
+                       help="poll/sample cadence in seconds (default: 1)")
+
+    promcheck = sub.add_parser(
+        "promcheck", help="validate a Prometheus text exposition (file "
+                          "or '-' for stdin)")
+    promcheck.add_argument("file", metavar="FILE")
     return parser
+
+
+def _obs_serve(args) -> int:
+    import asyncio
+
+    from repro.obs.serve import serve_forever
+
+    try:
+        asyncio.run(serve_forever(args.log, host=args.host, port=args.port,
+                                  interval=args.interval))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+def _obs_promcheck(args) -> int:
+    from repro.obs.prom import validate_exposition
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = Path(args.file).read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    problems = validate_exposition(text)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    samples = sum(1 for line in text.splitlines()
+                  if line.strip() and not line.startswith("#"))
+    print(f"{'FAIL' if problems else 'OK'}: {samples} samples, "
+          f"{len(problems)} problems")
+    return 1 if problems else 0
 
 
 def _obs_main(argv: List[str]) -> int:
     args = build_obs_parser().parse_args(argv)
+    if args.command == "serve":
+        return _obs_serve(args)
+    if args.command == "promcheck":
+        return _obs_promcheck(args)
     from repro.obs.report import render_file
 
     rc = 0
@@ -569,6 +628,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--idle-timeout", type=float, default=30.0,
                         metavar="S", help="drop silent connections after S "
                                           "seconds (default: 30)")
+    parser.add_argument("--record-interval", type=float, default=0.5,
+                        metavar="S",
+                        help="live series sampling cadence for /series, "
+                             "/stream and /dashboard (default: 0.5; "
+                             "0 disables recording)")
+    parser.add_argument("--flight-dump", default=None, metavar="FILE",
+                        help="flight-recorder dump path (written on "
+                             "SIGUSR1 and on anomaly thresholds)")
     return parser
 
 
@@ -653,12 +720,18 @@ def _serve_main(argv: List[str]) -> int:
             loss_seed=args.loss_seed,
             metrics_port=args.metrics_port,
             idle_timeout=args.idle_timeout,
+            record_interval=args.record_interval,
+            flight_dump_path=args.flight_dump,
         )
+        if args.flight_dump is not None:
+            server.flight.install_signal_handler()
         ports = await server.start()
         print(f"serving on {args.host} udp ports "
               f"{ports[0]}..{ports[-1]} ({len(ports)} paths)")
         if server.metrics_port is not None:
             print(f"metrics: http://{args.host}:{server.metrics_port}/metrics")
+            print(f"dashboard: "
+                  f"http://{args.host}:{server.metrics_port}/dashboard")
         try:
             while True:
                 conn_id = await server.wait_connection_complete()

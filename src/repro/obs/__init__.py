@@ -37,6 +37,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Dict, Iterator, Optional
 
+from repro.obs.flight import FlightEvent, FlightRecorder
 from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest, git_sha
 from repro.obs.metrics import (
     Counter,
@@ -45,11 +46,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     geometric_buckets,
 )
+from repro.obs.timeseries import SeriesRecorder, TimeSeries
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "MANIFEST_SCHEMA",
     "Counter",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -57,6 +61,8 @@ __all__ = [
     "NullTracer",
     "ObsSession",
     "RunManifest",
+    "SeriesRecorder",
+    "TimeSeries",
     "Tracer",
     "active_session",
     "annotate",
@@ -64,6 +70,7 @@ __all__ = [
     "end_session",
     "geometric_buckets",
     "git_sha",
+    "record_event",
     "registry_or_new",
     "session",
     "start_session",
@@ -83,6 +90,34 @@ class ObsSession:
         else:
             self.tracer = Tracer() if trace else NULL_TRACER
         self.annotations: Dict[str, Any] = {}
+        #: Live-telemetry attachments; None until attached (see
+        #: :meth:`attach_series` / :meth:`attach_flight`).
+        self.series: Optional[SeriesRecorder] = None
+        self.flight: Optional[FlightRecorder] = None
+
+    def attach_series(self, recorder: Optional[SeriesRecorder] = None,
+                      **kwargs: Any) -> SeriesRecorder:
+        """Attach (or get-or-create) this session's series recorder.
+
+        Without an explicit ``recorder``, one is built over this
+        session's registry with ``kwargs`` forwarded to
+        :class:`SeriesRecorder`; an already-attached recorder is
+        returned as-is so layers can share one without coordination.
+        """
+        if recorder is not None:
+            self.series = recorder
+        elif self.series is None:
+            self.series = SeriesRecorder(self.registry, **kwargs)
+        return self.series
+
+    def attach_flight(self, recorder: Optional[FlightRecorder] = None,
+                      **kwargs: Any) -> FlightRecorder:
+        """Attach (or get-or-create) this session's flight recorder."""
+        if recorder is not None:
+            self.flight = recorder
+        elif self.flight is None:
+            self.flight = FlightRecorder(**kwargs)
+        return self.flight
 
     def annotate(self, **fields: Any) -> None:
         """Attach free-form provenance (seed, duration, ...) to the run."""
@@ -168,3 +203,17 @@ def annotate(**fields: Any) -> None:
     s = _active.get()
     if s is not None:
         s.annotations.update(fields)
+
+
+def record_event(kind: str, **fields: Any) -> Optional[FlightEvent]:
+    """Record a flight event on the ambient session's recorder.
+
+    A no-op (returning None) when no session is active or the session
+    has no flight recorder attached, so probe points deep in engines
+    and executors can record unconditionally at the cost of two
+    attribute reads.
+    """
+    s = _active.get()
+    if s is not None and s.flight is not None:
+        return s.flight.record(kind, **fields)
+    return None

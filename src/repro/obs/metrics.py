@@ -28,6 +28,7 @@ and flush into counters at run() boundaries.
 from __future__ import annotations
 
 import json
+import time
 from bisect import bisect_left
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -116,17 +117,30 @@ class Counter:
 
 
 class Gauge:
-    """Last-value instrument."""
+    """Last-value instrument.
 
-    __slots__ = ("name", "value")
+    Each ``set()`` stamps :attr:`updated_unix` (wall time), so a
+    consumer — the live dashboard greying out a dead path's gauges —
+    can tell a *stale* last value from a live one.  ``snapshot_value``
+    stays a plain number (the cross-layer snapshot schema is shared by
+    telemetry and manifests); the timestamp travels in the JSONL dump
+    and the ``/series`` document instead.
+    """
+
+    __slots__ = ("name", "value", "updated_unix")
     kind = "gauge"
+
+    #: Wall clock used for update stamps; patchable in tests.
+    _clock = time.time
 
     def __init__(self, name: str):
         self.name = name
         self.value: float = 0.0
+        self.updated_unix: Optional[float] = None
 
     def set(self, value: float) -> None:
         self.value = value
+        self.updated_unix = Gauge._clock()
 
     def snapshot_value(self) -> float:
         return self.value
@@ -202,6 +216,32 @@ class Histogram:
             out["max"] = self.maximum
         return out
 
+    def merge_snapshot_value(self, value: Dict[str, Any]) -> None:
+        """Fold another histogram's snapshot into this one.
+
+        Bucket layouts are fixed at creation precisely so this stays a
+        per-bucket addition; mismatched layouts raise rather than merge
+        nonsense.
+        """
+        bounds = tuple(float(b) for b in value.get("buckets", ()))
+        if bounds != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge snapshot with "
+                f"buckets {bounds} into layout {self.buckets}")
+        counts = value.get("counts", [])
+        if len(counts) != len(self.counts):
+            raise ValueError(f"histogram {self.name!r}: snapshot has "
+                             f"{len(counts)} counts, expected "
+                             f"{len(self.counts)}")
+        for i, c in enumerate(counts):
+            self.counts[i] += int(c)
+        self.count += int(value.get("count", 0))
+        self.total += float(value.get("sum", 0.0))
+        if "min" in value:
+            self.minimum = min(self.minimum, float(value["min"]))
+        if "max" in value:
+            self.maximum = max(self.maximum, float(value["max"]))
+
 
 class MetricsRegistry:
     """Named instruments with get-or-create access and one-shot snapshots."""
@@ -267,6 +307,41 @@ class MetricsRegistry:
         return {name: inst.snapshot_value()
                 for name, inst in sorted(self._instruments.items())}
 
+    def merge_snapshot(self, snapshot: Dict[str, Any],
+                       kinds: Optional[Dict[str, str]] = None) -> None:
+        """Fold a foreign registry snapshot into this registry.
+
+        The cross-process merge rule: counters **sum**, gauges
+        **last-write-win**, histogram counts **add** (layouts must
+        match).  This is how campaign worker ``"obs"`` payloads roll up
+        into one parent registry.
+
+        A snapshot alone cannot distinguish counters from gauges (both
+        are plain numbers), so the kind comes from, in order: an
+        already-registered instrument of that name, the optional
+        ``kinds`` map, else the default — dicts merge as histograms,
+        numbers as counters (the dominant engine instrument kind).
+        """
+        for name in sorted(snapshot):
+            value = snapshot[name]
+            inst = self._instruments.get(name)
+            if inst is not None:
+                kind = inst.kind
+            elif kinds is not None and name in kinds:
+                kind = kinds[name]
+            else:
+                kind = "histogram" if isinstance(value, dict) else "counter"
+            if kind == "histogram":
+                if not isinstance(value, dict):
+                    raise TypeError(f"instrument {name!r}: histogram merge "
+                                    f"needs a dict, got {type(value).__name__}")
+                self.histogram(name, value.get("buckets", DEFAULT_BUCKETS)) \
+                    .merge_snapshot_value(value)
+            elif kind == "gauge":
+                self.gauge(name).set(float(value))
+            else:
+                self.counter(name).inc(float(value))
+
     def write_jsonl(self, path: "str | Path") -> int:
         """Write one JSON object per instrument; returns the line count.
 
@@ -285,6 +360,8 @@ class MetricsRegistry:
                     record.update(value)
                 else:
                     record["value"] = value
+                if inst.kind == "gauge" and inst.updated_unix is not None:
+                    record["updated_unix"] = inst.updated_unix
                 fh.write(json.dumps(record, sort_keys=True) + "\n")
                 n += 1
         return n

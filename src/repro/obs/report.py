@@ -17,7 +17,11 @@ File kind is sniffed from content, never from the extension.  Empty
 files report kind ``"empty"`` (the CLI warns and moves on), and JSONL
 inputs with malformed lines — a truncated tail from a killed run is the
 common case — keep their parseable records and surface the skip count
-as a warning instead of failing the whole report.
+as a warning instead of failing the whole report.  A *partial trailing
+line* (no newline — a concurrent writer caught mid-append, the normal
+state of a live telemetry log the dashboard tailer shares with us) is
+skipped silently via :func:`repro.obs.tail.split_jsonl`, not raised and
+not even warned about.
 """
 
 from __future__ import annotations
@@ -27,8 +31,10 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.results import BENCH_SCHEMA
+from repro.obs.flight import FLIGHT_SCHEMA
 from repro.obs.manifest import MANIFEST_SCHEMA
 from repro.obs.metrics import percentiles_from_counts
+from repro.obs.tail import split_jsonl
 
 __all__ = ["describe_file", "render_file"]
 
@@ -54,21 +60,10 @@ def _load(path: Path) -> Tuple[str, Any, List[str]]:
         # else: a one-line JSONL artifact that parsed as a single object;
         # fall through to the line-by-line path.
     # JSONL: one object per line.  Tolerate malformed lines (truncated
-    # tails from killed runs) as long as something parses.
-    records = []
-    bad_lines: List[int] = []
-    for i, line in enumerate(text.splitlines()):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            bad_lines.append(i + 1)
-            continue
-        if isinstance(record, dict):
-            records.append(record)
-        else:
-            bad_lines.append(i + 1)
+    # tails from killed runs) as long as something parses; a partial
+    # *trailing* line is a concurrent append in flight and is skipped
+    # without comment.
+    records, bad_lines, partial_tail = split_jsonl(text)
     warnings = []
     if bad_lines:
         shown = ", ".join(str(n) for n in bad_lines[:5])
@@ -76,6 +71,13 @@ def _load(path: Path) -> Tuple[str, Any, List[str]]:
         warnings.append(f"{path}: skipped {len(bad_lines)} malformed "
                         f"line(s): {shown}{more}")
     if not records:
+        if partial_tail and text.lstrip().startswith("{"):
+            # Only a mid-append fragment so far: report it like an empty
+            # file instead of failing a live tail's first read.  Anything
+            # that could never become a JSON object is garbage, not a
+            # torn append, and still fails below.
+            return "empty", None, [f"{path}: only a partial line so far "
+                                   f"(writer still appending?)"]
         raise ValueError(f"{path}: no JSON objects found")
     kind = _jsonl_kind(records[0])
     if kind is None:
@@ -85,8 +87,12 @@ def _load(path: Path) -> Tuple[str, Any, List[str]]:
 
 def _jsonl_kind(record: Dict[str, Any]) -> Optional[str]:
     """The JSONL artifact kind a record belongs to, or None."""
+    if record.get("schema") == FLIGHT_SCHEMA:
+        return "flight-jsonl"
     if "kind" in record and "name" in record:
         return "metrics-jsonl"
+    if "seq" in record and "kind" in record and "ts" in record:
+        return "flight-jsonl"
     if "type" in record and "ts" in record:
         return "trace-jsonl"
     if "event" in record:
@@ -250,12 +256,34 @@ def _render_bench(doc: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _render_flight(records: List[Dict[str, Any]]) -> str:
+    from repro.analysis.report import format_table
+
+    header = records[0] if records and "schema" in records[0] else {}
+    events = [r for r in records if "seq" in r]
+    counts: Dict[str, int] = {}
+    for e in events:
+        counts[e.get("kind", "?")] = counts.get(e.get("kind", "?"), 0) + 1
+    lines = [f"flight recorder: {len(events)} events"
+             + (f", reason={header.get('reason')}" if header else "")
+             + (f", dropped={header.get('dropped')}"
+                if header.get("dropped") else "")]
+    lines.append(format_table(
+        ["kind", "count"], [[k, counts[k]] for k in sorted(counts)]))
+    if events:
+        span = events[-1].get("ts", 0.0) - events[0].get("ts", 0.0)
+        lines.append(f"window: {span:.3f} s "
+                     f"(seq {events[0].get('seq')}..{events[-1].get('seq')})")
+    return "\n".join(lines)
+
+
 _RENDERERS = {
     "chrome-trace": _render_chrome,
     "trace-jsonl": _render_trace_jsonl,
     "metrics-jsonl": _render_metrics,
     "manifest": _render_manifest,
     "telemetry-jsonl": _render_telemetry,
+    "flight-jsonl": _render_flight,
     "bench": _render_bench,
 }
 

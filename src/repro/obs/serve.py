@@ -1,0 +1,197 @@
+"""``python -m repro obs serve`` — tail a campaign telemetry JSONL live.
+
+A campaign appends structured events (``run_queued`` / ``run_started`` /
+``run_completed`` / ``run_failed`` / ``progress``) to its telemetry log
+while it runs; this module turns that file into the same live surface
+the transport server exposes: a :class:`TelemetryMonitor` follows the
+log with a :class:`~repro.obs.tail.JsonlTailer`, translates each record
+into registry instruments (counters for run lifecycle, gauges for the
+streaming progress/ETA) and flight events, and an HTTP server reuses
+the exact transport routes — ``/metrics.prom``, ``/series``,
+``/events``, ``/dashboard``, ``/stream``.
+
+Kept out of :mod:`repro.obs`'s ``__init__`` on purpose: this module
+imports :mod:`repro.transport.aio`, which (via the server) imports
+``repro.obs`` — importing it eagerly would cycle.  The CLI imports it
+lazily.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Any, AsyncIterator, Dict, Optional
+
+import repro.obs as obs
+import repro.obs.prom as prom
+from repro.obs.dashboard import render_dashboard
+from repro.obs.tail import JsonlTailer
+from repro.transport.aio import MetricsHttpServer, RawResponse, SseRoute
+
+__all__ = ["ObsServeHandle", "TelemetryMonitor", "start_serve"]
+
+#: Campaign counter events -> registry counter names.
+_COUNTER_EVENTS = {
+    "run_queued": "campaign.runs_queued",
+    "run_started": "campaign.runs_started",
+    "run_failed": "campaign.runs_failed",
+}
+
+
+class TelemetryMonitor:
+    """Follows one campaign telemetry JSONL into live instruments.
+
+    Every :meth:`poll` drains the tailer, folds each record into the
+    monitor's own :class:`~repro.obs.MetricsRegistry` (counters for run
+    lifecycle, gauges for streaming progress — ``campaign.done`` /
+    ``campaign.total`` / ``campaign.eta_s``), appends one flight event
+    per record, and takes one series sample, so the dashboard charts
+    campaign throughput exactly like transport cwnd.
+    """
+
+    def __init__(self, path: "str | Path", *, interval: float = 1.0,
+                 capacity: int = 512, flight_capacity: int = 2048):
+        self.path = Path(path)
+        self.tailer = JsonlTailer(self.path)
+        self.session = obs.ObsSession(label=f"obs-serve:{self.path.name}")
+        self.registry = self.session.registry
+        self.recorder = self.session.attach_series(
+            interval=interval, capacity=capacity)
+        self.flight = self.session.attach_flight(capacity=flight_capacity)
+        self.records_seen = 0
+        self._c_completed = self.registry.counter("campaign.runs_completed")
+        self._c_cache_hits = self.registry.counter("campaign.cache_hits")
+        self._counters = {event: self.registry.counter(name)
+                          for event, name in _COUNTER_EVENTS.items()}
+        self._g_done = self.registry.gauge("campaign.done")
+        self._g_total = self.registry.gauge("campaign.total")
+        self._g_eta = self.registry.gauge("campaign.eta_s")
+
+    def poll(self) -> int:
+        """Ingest newly appended records; returns how many arrived."""
+        records = self.tailer.poll()
+        for record in records:
+            self._ingest(record)
+        self.records_seen += len(records)
+        self.recorder.sample()
+        return len(records)
+
+    def _ingest(self, record: Dict[str, Any]) -> None:
+        event = str(record.get("event", "unknown"))
+        counter = self._counters.get(event)
+        if counter is not None:
+            counter.inc()
+        elif event == "run_completed":
+            self._c_completed.inc()
+            if record.get("cached"):
+                self._c_cache_hits.inc()
+        elif event == "progress":
+            self._g_done.set(float(record.get("done", 0)))
+            self._g_total.set(float(record.get("total", 0)))
+            eta = record.get("eta_s")
+            if eta is not None:
+                self._g_eta.set(float(eta))
+        fields = {k: v for k, v in record.items() if k != "event"}
+        fields["src_ts"] = fields.pop("ts", None)
+        self.flight.record(event, **fields)
+
+    def status(self) -> Dict[str, Any]:
+        """The ``/metrics`` document for a monitor-backed server."""
+        return {
+            "source": str(self.path),
+            "records_seen": self.records_seen,
+            "bad_lines": self.tailer.bad_lines,
+            "offset": self.tailer.offset,
+            "registry": self.registry.snapshot(),
+        }
+
+
+class ObsServeHandle:
+    """A running ``obs serve``: the monitor, its HTTP server, the poller."""
+
+    def __init__(self, monitor: TelemetryMonitor, http: MetricsHttpServer,
+                 task: "asyncio.Task[None]"):
+        self.monitor = monitor
+        self.http = http
+        self._task = task
+
+    @property
+    def port(self) -> int:
+        return self.http.port
+
+    async def stop(self) -> None:
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        await self.http.stop()
+
+
+async def start_serve(path: "str | Path", *, host: str = "127.0.0.1",
+                      port: int = 0,
+                      interval: float = 1.0) -> ObsServeHandle:
+    """Start tailing ``path`` and serving the live routes; returns a
+    handle whose ``port`` is bound and whose ``stop()`` tears down."""
+    monitor = TelemetryMonitor(path, interval=interval)
+    interval_ms = max(int(interval * 1000), 100)
+
+    async def stream() -> AsyncIterator[dict]:
+        last_seq = 0
+        while True:
+            events = monitor.flight.events(since=last_seq, limit=250)
+            if events:
+                last_seq = events[-1].seq
+            yield {
+                "t": time.time(),
+                "latest": monitor.recorder.last_values(),
+                "events": [e.to_json_dict() for e in events],
+            }
+            await asyncio.sleep(interval)
+
+    http = MetricsHttpServer(
+        {
+            "/metrics": monitor.status,
+            "/healthz": lambda: {"status": "ok", "source": str(monitor.path)},
+            "/metrics.prom": lambda: RawResponse(
+                prom.render_registry(monitor.registry),
+                content_type=prom.CONTENT_TYPE),
+            "/series": monitor.recorder.snapshot,
+            "/events": monitor.flight.snapshot,
+            "/dashboard": lambda: RawResponse(
+                render_dashboard(
+                    title=f"repro campaign - {monitor.path.name}",
+                    interval_ms=interval_ms),
+                content_type="text/html; charset=utf-8"),
+            "/stream": SseRoute(stream),
+        },
+        host=host, port=port)
+    await http.start()
+
+    async def poll_loop() -> None:
+        while True:
+            monitor.poll()
+            await asyncio.sleep(interval)
+
+    task = asyncio.ensure_future(poll_loop())
+    return ObsServeHandle(monitor, http, task)
+
+
+async def serve_forever(path: "str | Path", *, host: str = "127.0.0.1",
+                        port: int = 0, interval: float = 1.0,
+                        announce=print,
+                        stop_event: Optional[asyncio.Event] = None) -> None:
+    """The CLI driver: serve until cancelled (or ``stop_event`` fires)."""
+    handle = await start_serve(path, host=host, port=port, interval=interval)
+    announce(f"tailing {path}")
+    announce(f"dashboard: http://{host}:{handle.port}/dashboard")
+    announce(f"prometheus: http://{host}:{handle.port}/metrics.prom")
+    try:
+        if stop_event is not None:
+            await stop_event.wait()
+        else:  # pragma: no cover - interactive path
+            while True:
+                await asyncio.sleep(3600)
+    finally:
+        await handle.stop()

@@ -12,7 +12,12 @@ Three pieces, all stdlib-only:
 * :class:`MetricsHttpServer` — a minimal HTTP/1.1 GET server over
   asyncio streams exposing JSON route callables (``/metrics``,
   ``/manifest``, ``/healthz``). Deliberately tiny: no frameworks, no
-  keep-alive, one response per connection.
+  keep-alive, one response per connection.  Two escape hatches keep it
+  tiny while serving the live layer: a handler may return a
+  :class:`RawResponse` (non-JSON bodies — Prometheus text, the
+  dashboard HTML), and a route may be an :class:`SseRoute` (an async
+  generator streamed as ``text/event-stream`` until the client hangs
+  up or the server stops).
 """
 
 from __future__ import annotations
@@ -20,7 +25,17 @@ from __future__ import annotations
 import asyncio
 import json
 import random
-from typing import Awaitable, Callable, Dict, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import (
+    Any,
+    AsyncIterator,
+    Awaitable,
+    Callable,
+    Dict,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.transport.wire import Segment, WireError, decode
 
@@ -122,6 +137,35 @@ class LossyTransport:
 RouteFn = Union[Callable[[], object], Callable[[], Awaitable[object]]]
 
 
+@dataclass
+class RawResponse:
+    """A non-JSON route result: explicit body and content type."""
+
+    body: "bytes | str"
+    content_type: str = "text/plain; charset=utf-8"
+    status: int = 200
+
+    def encoded(self) -> bytes:
+        return self.body.encode("utf-8") if isinstance(self.body, str) \
+            else self.body
+
+
+class SseRoute:
+    """A streaming route: ``factory()`` yields JSON-serializable events.
+
+    Each yielded item becomes one ``data: <json>\\n\\n`` frame.  The
+    stream ends when the generator finishes, the client disconnects, or
+    the server stops (a stop event is raced against the generator so a
+    dangling browser tab cannot wedge shutdown).
+    """
+
+    def __init__(self, factory: Callable[[], AsyncIterator[Any]]):
+        self.factory = factory
+
+
+Route = Union[RouteFn, SseRoute]
+
+
 class MetricsHttpServer:
     """Tiny JSON-over-HTTP endpoint for metrics snapshots and manifests.
 
@@ -130,21 +174,27 @@ class MetricsHttpServer:
     get 404, non-GET methods 405, handler failures 500 — all as JSON.
     """
 
-    def __init__(self, routes: Dict[str, RouteFn], *, host: str = "127.0.0.1",
+    def __init__(self, routes: Dict[str, Route], *, host: str = "127.0.0.1",
                  port: int = 0):
         self.routes = dict(routes)
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        self._closing: Optional[asyncio.Event] = None
 
     async def start(self) -> int:
         """Start serving; returns the bound port."""
+        self._closing = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         return self.port
 
     async def stop(self) -> None:
+        if self._closing is not None:
+            # Unblocks open SSE streams so wait_closed() (which waits for
+            # all handlers on 3.12+) cannot hang on a connected browser.
+            self._closing.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -172,12 +222,17 @@ class MetricsHttpServer:
                     await self._respond(
                         writer, 404,
                         {"error": "not found", "routes": sorted(self.routes)})
+                elif isinstance(handler, SseRoute):
+                    await self._stream_sse(writer, handler)
                 else:
                     try:
                         body = handler()
                         if asyncio.iscoroutine(body):
                             body = await body
-                        await self._respond(writer, 200, body)
+                        if isinstance(body, RawResponse):
+                            await self._respond_raw(writer, body)
+                        else:
+                            await self._respond(writer, 200, body)
                     except Exception as exc:  # noqa: BLE001 - report, don't die
                         await self._respond(writer, 500, {"error": repr(exc)})
         except (asyncio.TimeoutError, ConnectionError):
@@ -188,6 +243,70 @@ class MetricsHttpServer:
                 await writer.wait_closed()
             except ConnectionError:
                 pass
+
+    async def _stream_sse(self, writer: asyncio.StreamWriter,
+                          route: SseRoute) -> None:
+        """Stream one async generator as Server-Sent Events.
+
+        Each yield is raced against the server's closing event so
+        ``stop()`` ends every open stream promptly.
+        """
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n")
+        await writer.drain()
+        agen = route.factory()
+        closing = self._closing
+        try:
+            while closing is None or not closing.is_set():
+                next_item = asyncio.ensure_future(agen.__anext__())
+                waiters = {next_item}
+                close_wait = None
+                if closing is not None:
+                    close_wait = asyncio.ensure_future(closing.wait())
+                    waiters.add(close_wait)
+                done, _pending = await asyncio.wait(
+                    waiters, return_when=asyncio.FIRST_COMPLETED)
+                if close_wait is not None and close_wait not in done:
+                    close_wait.cancel()
+                if next_item not in done:
+                    next_item.cancel()
+                    try:
+                        # The generator must finish unwinding before
+                        # aclose() below, or aclose() raises RuntimeError.
+                        await next_item
+                    except (asyncio.CancelledError, StopAsyncIteration):
+                        pass
+                    break
+                try:
+                    item = next_item.result()
+                except StopAsyncIteration:
+                    break
+                blob = json.dumps(item, sort_keys=True, default=str)
+                writer.write(f"data: {blob}\n\n".encode())
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                await agen.aclose()
+            except RuntimeError:
+                pass  # generator still unwinding a cancelled __anext__
+
+    @staticmethod
+    async def _respond_raw(writer: asyncio.StreamWriter,
+                           response: RawResponse) -> None:
+        blob = response.encoded()
+        reasons = {200: "OK", 404: "Not Found", 500: "Internal Server Error"}
+        writer.write(
+            f"HTTP/1.1 {response.status} "
+            f"{reasons.get(response.status, 'Unknown')}\r\n"
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + blob)
+        await writer.drain()
 
     @staticmethod
     async def _respond(writer: asyncio.StreamWriter, status: int,

@@ -99,10 +99,12 @@ class FetchConnection:
         payload_bytes: int,
         loss_rate: float = 0.0,
         loss_seed: Optional[int] = None,
+        flight: "Optional[obs.FlightRecorder]" = None,
     ):
         if not ports:
             raise ConfigurationError("fetch needs at least one port")
         self.conn_id = conn_id
+        self.flight = flight
         self.host = host
         self.ports = list(ports)
         self.controller = controller
@@ -155,7 +157,10 @@ class FetchConnection:
         }
         async def handshake(i: int) -> None:
             datagram = encode_hello(self.conn_id, i, hello_params)
-            for _ in range(HELLO_ATTEMPTS):
+            for attempt in range(HELLO_ATTEMPTS):
+                if attempt > 0 and self.flight is not None:
+                    self.flight.record("hello_retry", conn=self.conn_id,
+                                       path=i, attempt=attempt + 1)
                 self._transports[i].sendto(datagram)
                 try:
                     await asyncio.wait_for(
@@ -163,6 +168,9 @@ class FetchConnection:
                     return
                 except asyncio.TimeoutError:
                     continue
+            if self.flight is not None:
+                self.flight.record("hello_failed", conn=self.conn_id, path=i,
+                                   attempts=HELLO_ATTEMPTS)
             raise ConnectionError(
                 f"path {i}: no HELLO_ACK from {self.host}:{self.ports[i]} "
                 f"after {HELLO_ATTEMPTS} attempts")
@@ -277,12 +285,15 @@ async def fetch(
     )
     metrics: Optional[MetricsHttpServer] = None
     session = obs.ObsSession(label="transport-fetch")
+    conn.flight = session.attach_flight(capacity=256)
     try:
         if metrics_port is not None:
             def client_metrics() -> dict:
                 return {
                     "client": conn.result(controller).to_dict(),
                     "registry": session.registry.snapshot(),
+                    "events": session.flight.snapshot(limit=50)
+                    if session.flight is not None else None,
                 }
             metrics = MetricsHttpServer(
                 {"/metrics": client_metrics,

@@ -12,6 +12,15 @@ DES meters do. A :class:`~repro.transport.aio.MetricsHttpServer`
 exposes per-subflow cwnd/throughput/energy JSON (``/metrics``), a
 :class:`~repro.obs.RunManifest` (``/manifest``) and ``/healthz``.
 
+The live layer rides on the same server session: a
+:class:`~repro.obs.SeriesRecorder` samples per-subflow cwnd/throughput
+and per-connection energy gauges on ``record_interval`` (``/series``,
+``/metrics.prom``), a :class:`~repro.obs.FlightRecorder` keeps the last
+N structured events — loss bursts, RTO expiries, path births,
+connection lifecycle — (``/events``, dump via ``flight_dump_path``),
+and ``/dashboard`` serves a self-contained HTML page fed live by the
+``/stream`` SSE route.
+
 The asyncio side owns exactly what the simulator owns in the DES host:
 sockets, timers, and the clock (``loop.time``). All transport decisions —
 what to send, when something is lost, how windows move — happen inside
@@ -21,19 +30,24 @@ the cores.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import AsyncIterator, Dict, List, Optional, Tuple
 
 import repro.obs as obs
+import repro.obs.prom as prom
 from repro.algorithms import create_controller
 from repro.energy.accounting import TransferEnergyAccount
 from repro.energy.cpu import HostPowerModel, default_wired_host
 from repro.errors import ConfigurationError
 from repro.net.flow import SegmentSupply
+from repro.obs.dashboard import render_dashboard
 from repro.transport.aio import (
     Addr,
     DatagramEndpoint,
     LossyTransport,
     MetricsHttpServer,
+    RawResponse,
+    SseRoute,
     open_endpoint,
 )
 from repro.transport.core import PathProfile, SenderCore
@@ -78,10 +92,13 @@ class ServedConnection:
         clock,
         *,
         host_model: HostPowerModel,
+        registry: "Optional[obs.MetricsRegistry]" = None,
+        flight: "Optional[obs.FlightRecorder]" = None,
     ):
         self.conn_id = conn_id
         self.params = params
         self.clock = clock
+        self.flight = flight
         self.controller_name = str(params.get("controller", "lia"))
         self.controller = create_controller(self.controller_name)
         total_segments = int(params["total_segments"])
@@ -109,6 +126,22 @@ class ServedConnection:
         self.energy = TransferEnergyAccount(host_model)
         self._last_acked = [0] * n_paths
         self._last_sample: Optional[float] = None
+        # Live-series gauges (one per subflow + per connection) feed the
+        # session's SeriesRecorder; None outside a recording server.
+        self._g_cwnd = self._g_tput = None
+        self._g_energy = self._g_power = None
+        if registry is not None:
+            pref = f"transport.c{conn_id}"
+            self._g_cwnd = [registry.gauge(f"{pref}.p{i}.cwnd")
+                            for i in range(n_paths)]
+            self._g_tput = [registry.gauge(f"{pref}.p{i}.throughput_bps")
+                            for i in range(n_paths)]
+            self._g_energy = registry.gauge(f"{pref}.energy_j")
+            self._g_power = registry.gauge(f"{pref}.power_w")
+        # Flight-event baselines: counter deltas become loss/rto events.
+        self._fl_loss = [0] * n_paths
+        self._fl_rto = [0] * n_paths
+        self._fl_frtx = [0] * n_paths
         self.started_at: Optional[float] = None
         self.last_activity = clock()
         self.client_done = False
@@ -177,6 +210,7 @@ class ServedConnection:
             echo_time=segment.echo_time,
         )
         self.flush()
+        self._probe_flight()
 
     def tick(self) -> float:
         """Fire due RTOs and sample energy; returns the next deadline."""
@@ -184,6 +218,7 @@ class ServedConnection:
         for core in self.cores:
             deadline = min(deadline, core.on_tick())
         self.flush()
+        self._probe_flight()
         now = self.clock()
         if (self._last_sample is not None
                 and now - self._last_sample >= TICK_CAP / 2):
@@ -199,8 +234,39 @@ class ServedConnection:
             self._last_acked[i] = core.acked
             bps = delta * self.payload_bytes * 8 / dt if dt > 0 else 0.0
             paths.append((bps, core.rtt))
+            if self._g_cwnd is not None and self._g_tput is not None:
+                self._g_cwnd[i].set(core.cwnd)
+                if dt > 0:
+                    self._g_tput[i].set(bps)
         self.energy.sample(now, paths)
         self._last_sample = now
+        if self._g_energy is not None and self._g_power is not None:
+            self._g_energy.set(self.energy.energy_j)
+            self._g_power.set(self.energy.mean_power_w)
+
+    def _probe_flight(self) -> None:
+        """Turn per-core counter deltas into flight events."""
+        if self.flight is None:
+            return
+        for i, core in enumerate(self.cores):
+            if core.loss_events > self._fl_loss[i]:
+                self.flight.record(
+                    "loss", conn=self.conn_id, path=i,
+                    new=core.loss_events - self._fl_loss[i],
+                    total=core.loss_events, cwnd=core.cwnd)
+                self._fl_loss[i] = core.loss_events
+            if core.timeouts > self._fl_rto[i]:
+                self.flight.record(
+                    "rto", conn=self.conn_id, path=i,
+                    new=core.timeouts - self._fl_rto[i],
+                    total=core.timeouts, rto_s=core.rto)
+                self._fl_rto[i] = core.timeouts
+            if core.fast_retransmits > self._fl_frtx[i]:
+                self.flight.record(
+                    "fast_retransmit", conn=self.conn_id, path=i,
+                    new=core.fast_retransmits - self._fl_frtx[i],
+                    total=core.fast_retransmits)
+                self._fl_frtx[i] = core.fast_retransmits
 
     def finalize(self) -> None:
         """Take a closing energy sample so short transfers integrate too."""
@@ -270,6 +336,10 @@ class TransportServer:
         metrics_port: Optional[int] = None,
         host_model: Optional[HostPowerModel] = None,
         idle_timeout: float = IDLE_TIMEOUT,
+        record_interval: float = 0.5,
+        series_capacity: int = 512,
+        flight_capacity: int = 2048,
+        flight_dump_path: Optional[str] = None,
     ):
         if n_ports < 1:
             raise ConfigurationError(f"need at least one port, got {n_ports}")
@@ -281,10 +351,15 @@ class TransportServer:
         self.metrics_port = metrics_port
         self.host_model = host_model if host_model is not None else default_wired_host()
         self.idle_timeout = idle_timeout
+        self.record_interval = record_interval
         self.ports: List[int] = []
         self.connections: Dict[int, ServedConnection] = {}
         self.completed_connections = 0
         self.session = obs.ObsSession(label="transport-serve")
+        self.recorder = self.session.attach_series(
+            interval=record_interval, capacity=series_capacity)
+        self.flight = self.session.attach_flight(
+            capacity=flight_capacity, dump_path=flight_dump_path)
         self._hello_counter = self.session.registry.counter("transport.hellos")
         self._ack_counter = self.session.registry.counter("transport.acks_received")
         self._endpoints: List[DatagramEndpoint] = []
@@ -292,6 +367,7 @@ class TransportServer:
         self._raw_transports: List[object] = []
         self._metrics: Optional[MetricsHttpServer] = None
         self._drivers: Dict[int, asyncio.Task] = {}
+        self._record_task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._conn_completed: "asyncio.Queue[int]" = None  # type: ignore[assignment]
 
@@ -326,15 +402,29 @@ class TransportServer:
                     "/metrics": self.metrics_snapshot,
                     "/manifest": self.manifest_snapshot,
                     "/healthz": lambda: {"status": "ok", "ports": self.ports},
+                    "/metrics.prom": self.prom_snapshot,
+                    "/series": self.recorder.snapshot,
+                    "/events": self.flight.snapshot,
+                    "/dashboard": self.dashboard_page,
+                    "/stream": SseRoute(self._stream_frames),
                 },
                 host=self.host,
                 port=self.metrics_port,
             )
             self.metrics_port = await self._metrics.start()
+        if self.record_interval > 0:
+            self._record_task = asyncio.ensure_future(self._record_loop())
         return list(self.ports)
 
     async def stop(self) -> None:
         """Tear everything down."""
+        if self._record_task is not None:
+            self._record_task.cancel()
+            try:
+                await self._record_task
+            except asyncio.CancelledError:
+                pass
+            self._record_task = None
         for task in list(self._drivers.values()):
             task.cancel()
         for task in list(self._drivers.values()):
@@ -355,6 +445,31 @@ class TransportServer:
     async def wait_connection_complete(self) -> int:
         """Block until some connection finishes; returns its conn id."""
         return await self._conn_completed.get()
+
+    async def _record_loop(self) -> None:
+        """Sample the series recorder on its cadence until cancelled."""
+        while True:
+            await asyncio.sleep(self.record_interval)
+            self.recorder.sample()
+
+    async def _stream_frames(self) -> AsyncIterator[dict]:
+        """The ``/stream`` SSE payloads: latest values + new events.
+
+        The first frame replays the retained event ring so a freshly
+        opened dashboard sees recent history, then each frame carries
+        only events recorded since the previous one.
+        """
+        last_seq = 0
+        while True:
+            events = self.flight.events(since=last_seq, limit=250)
+            if events:
+                last_seq = events[-1].seq
+            yield {
+                "t": time.time(),
+                "latest": self.recorder.last_values(),
+                "events": [e.to_json_dict() for e in events],
+            }
+            await asyncio.sleep(max(self.record_interval, 0.1))
 
     # ------------------------------------------------------------- datagrams
 
@@ -398,6 +513,8 @@ class TransportServer:
                     n_subflows,
                     self.now,
                     host_model=self.host_model,
+                    registry=self.session.registry,
+                    flight=self.flight,
                 )
             except (KeyError, ValueError, ConfigurationError):
                 return  # malformed or unsatisfiable HELLO: ignore it
@@ -405,7 +522,11 @@ class TransportServer:
         transport = self._transports[path_index]
         # HELLO is idempotent — clients retransmit until the HELLO_ACK
         # gets through; re-register the (possibly re-mapped) address.
+        new_path = segment.path_id not in conn.paths
         all_up = conn.add_path(segment.path_id, transport, addr)
+        if new_path:
+            self.flight.record("path_up", conn=segment.conn_id,
+                               path=segment.path_id, addr=f"{addr[0]}:{addr[1]}")
         transport.sendto(
             encode_hello_ack(
                 segment.conn_id, segment.path_id,
@@ -414,6 +535,10 @@ class TransportServer:
             addr)
         if all_up and conn.started_at is None:
             conn.start()
+            self.flight.record("conn_start", conn=conn.conn_id,
+                               controller=conn.controller_name,
+                               n_subflows=conn.n_paths,
+                               total_segments=conn.supply.total)
             self._drivers[conn.conn_id] = asyncio.ensure_future(
                 self._drive(conn))
 
@@ -432,12 +557,20 @@ class TransportServer:
                     for path_id, (transport, addr) in conn.paths.items():
                         transport.sendto(encode_bye(conn.conn_id, path_id), addr)
                     self.completed_connections += 1
+                    self.flight.record(
+                        "conn_done", conn=conn.conn_id,
+                        elapsed_s=round(conn.elapsed(), 6),
+                        energy_j=round(conn.energy.energy_j, 6))
                     self._conn_completed.put_nowait(conn.conn_id)
                     return
                 if conn.client_done or (
                     now - conn.last_activity > self.idle_timeout
                 ):
                     conn.finalize()
+                    self.flight.record(
+                        "conn_dropped", conn=conn.conn_id,
+                        reason="client_done" if conn.client_done else "idle",
+                        acked=conn.supply.acked, total=conn.supply.total)
                     self._conn_completed.put_nowait(conn.conn_id)
                     return
                 sleep_for = min(max(deadline - now, 0.001), TICK_CAP)
@@ -466,6 +599,19 @@ class TransportServer:
             },
             "registry": self.session.registry.snapshot(),
         }
+
+    def prom_snapshot(self) -> RawResponse:
+        """The ``/metrics.prom`` document: OpenMetrics text exposition."""
+        return RawResponse(prom.render_registry(self.session.registry),
+                           content_type=prom.CONTENT_TYPE)
+
+    def dashboard_page(self) -> RawResponse:
+        """The ``/dashboard`` page (self-contained HTML)."""
+        interval_ms = max(int(self.record_interval * 1000), 100)
+        return RawResponse(
+            render_dashboard(title="repro transport - live telemetry",
+                             interval_ms=interval_ms),
+            content_type="text/html; charset=utf-8")
 
     def manifest_snapshot(self) -> dict:
         """The ``/manifest`` document (run provenance)."""

@@ -1,0 +1,114 @@
+"""Prometheus text exposition tests: render, validate, parse back."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.prom import (
+    parse_exposition,
+    render_registry,
+    render_snapshot,
+    sanitize_name,
+    validate_exposition,
+)
+
+
+def test_sanitize_name():
+    assert sanitize_name("transport.c1.p0.cwnd") == "transport_c1_p0_cwnd"
+    assert sanitize_name("a-b c") == "a_b_c"
+    assert sanitize_name("9lives") == "_9lives"
+
+
+def test_render_registry_counter_gauge_histogram_roundtrip():
+    reg = MetricsRegistry()
+    reg.counter("net.packets").inc(42)
+    reg.gauge("cwnd").set(17.5)
+    h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.7, 3.0, 9.0):
+        h.observe(v)
+    text = render_registry(reg)
+    assert validate_exposition(text) == []
+    samples = parse_exposition(text)
+
+    assert samples["net_packets_total"] == [({}, 42.0)]
+    assert samples["cwnd"] == [({}, 17.5)]
+    # Cumulative buckets: 1 obs <=1, 3 <=2, 4 <=4, 5 total.
+    by_le = {lab["le"]: v for lab, v in samples["lat_bucket"]}
+    assert by_le["1.0"] == 1.0
+    assert by_le["2.0"] == 3.0
+    assert by_le["4.0"] == 4.0
+    assert by_le["+Inf"] == 5.0
+    assert samples["lat_count"] == [({}, 5.0)]
+    assert samples["lat_sum"] == [({}, pytest.approx(15.7))]
+
+
+def test_counter_gets_total_suffix_and_counter_type():
+    text = render_snapshot({"runs": 3}, kinds={"runs": "counter"})
+    assert "# TYPE runs_total counter" in text
+    assert "runs_total 3.0" in text
+
+
+def test_snapshot_without_kinds_defaults_plain_numbers_to_gauge():
+    text = render_snapshot({"x": 1.5})
+    assert "# TYPE x gauge" in text
+
+
+def test_help_line_preserves_original_name():
+    text = render_snapshot({"a.b-c": 1.0})
+    assert "# HELP a_b_c a.b-c" in text
+
+
+def test_validate_rejects_malformed_sample_line():
+    assert validate_exposition("this is not a sample\n")
+    assert validate_exposition('x{le="oops} 1\n')  # unbalanced quote
+
+
+def test_validate_rejects_non_cumulative_buckets():
+    bad = (
+        '# TYPE h histogram\n'
+        'h_bucket{le="1.0"} 5\n'
+        'h_bucket{le="2.0"} 3\n'
+        'h_bucket{le="+Inf"} 5\n'
+        'h_sum 1.0\n'
+        'h_count 5\n'
+    )
+    assert any("cumulative" in e for e in validate_exposition(bad))
+
+
+def test_validate_rejects_missing_inf_bucket():
+    bad = (
+        '# TYPE h histogram\n'
+        'h_bucket{le="1.0"} 5\n'
+        'h_sum 1.0\n'
+        'h_count 5\n'
+    )
+    assert any("+Inf" in e for e in validate_exposition(bad))
+
+
+def test_validate_rejects_inf_bucket_count_mismatch():
+    bad = (
+        '# TYPE h histogram\n'
+        'h_bucket{le="+Inf"} 4\n'
+        'h_sum 1.0\n'
+        'h_count 5\n'
+    )
+    assert any("_count" in e for e in validate_exposition(bad))
+
+
+def test_validate_rejects_duplicate_type_and_unknown_type():
+    bad = "# TYPE x gauge\n# TYPE x gauge\nx 1\n"
+    assert any("duplicate" in e for e in validate_exposition(bad))
+    assert any("unknown type" in e
+               for e in validate_exposition("# TYPE x wibble\nx 1\n"))
+
+
+def test_parse_exposition_raises_on_invalid_text():
+    with pytest.raises(ValueError):
+        parse_exposition("== nope ==\n")
+
+
+def test_special_float_values_render_and_parse():
+    reg = MetricsRegistry()
+    reg.gauge("g").set(float("inf"))
+    text = render_registry(reg)
+    assert validate_exposition(text) == []
+    assert parse_exposition(text)["g"] == [({}, float("inf"))]

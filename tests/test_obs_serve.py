@@ -1,0 +1,178 @@
+"""Campaign progress streaming and ``obs serve`` end to end.
+
+The executor must leave queued/progress breadcrumbs in its telemetry
+JSONL while it runs, and ``repro.obs.serve`` must turn that file —
+even mid-append — into live series, Prometheus text, and a dashboard.
+"""
+
+import asyncio
+import json
+
+from repro.campaign import (
+    CampaignExecutor,
+    CampaignTelemetry,
+    ResultCache,
+    RunSpec,
+)
+from repro.obs.serve import TelemetryMonitor, start_serve
+
+FAST = dict(topology="bcube", duration=0.4, dt=0.01)
+
+
+def _specs(n=2):
+    return [RunSpec(n_subflows=1, seed=seed, **FAST)
+            for seed in range(1, n + 1)]
+
+
+def _run_campaign(tmp_path, n=2):
+    log = tmp_path / "telemetry.jsonl"
+    tel = CampaignTelemetry(log_path=log)
+    outcomes = CampaignExecutor(jobs=1, telemetry=tel,
+                                cache=ResultCache(tmp_path / "c")).run(
+                                    _specs(n))
+    assert all(o.ok for o in outcomes)
+    return log, [json.loads(line) for line in log.read_text().splitlines()]
+
+
+# ------------------------------------------------- executor streaming events
+
+def test_executor_emits_queued_and_progress_events(tmp_path):
+    log, records = _run_campaign(tmp_path, n=2)
+    events = [r["event"] for r in records]
+    assert events.count("run_queued") == 2
+    queued = [r for r in records if r["event"] == "run_queued"]
+    assert {"spec_hash", "topology", "algorithm", "n_subflows",
+            "seed"} <= set(queued[0])
+    # queued before any run starts
+    assert events.index("run_queued") < events.index("run_started")
+
+    progress = [r for r in records if r["event"] == "progress"]
+    assert len(progress) >= 3  # after cache scan + after each run
+    assert progress[0]["done"] == 0
+    assert progress[-1]["done"] == progress[-1]["total"] == 2
+    assert all(p["failed"] == 0 for p in progress)
+    # a mid-campaign progress event extrapolates an ETA
+    mid = [p for p in progress if 0 < p["done"] < p["total"]]
+    assert mid and all(p["eta_s"] > 0 for p in mid)
+    # done/total never regress
+    dones = [p["done"] for p in progress]
+    assert dones == sorted(dones)
+
+
+def test_progress_counts_cache_hits_on_rerun(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    specs = _specs(2)
+    CampaignExecutor(jobs=1, cache=cache).run(specs)
+    log = tmp_path / "second.jsonl"
+    tel = CampaignTelemetry(log_path=log)
+    CampaignExecutor(jobs=1, cache=cache, telemetry=tel).run(specs)
+    records = [json.loads(line) for line in log.read_text().splitlines()]
+    progress = [r for r in records if r["event"] == "progress"]
+    assert progress[-1]["cache_hits"] == 2
+    assert progress[-1]["done"] == 2
+
+
+# ------------------------------------------------------------ the monitor
+
+def test_monitor_folds_records_into_instruments(tmp_path):
+    log = tmp_path / "telemetry.jsonl"
+    lines = [
+        {"ts": 1.0, "event": "campaign_started", "n_specs": 2},
+        {"ts": 1.1, "event": "run_queued", "spec_hash": "aa"},
+        {"ts": 1.2, "event": "run_queued", "spec_hash": "bb"},
+        {"ts": 1.3, "event": "progress", "done": 0, "total": 2,
+         "failed": 0, "cache_hits": 0, "eta_s": None},
+        {"ts": 1.4, "event": "run_started", "spec_hash": "aa"},
+        {"ts": 2.0, "event": "run_completed", "spec_hash": "aa",
+         "cached": True},
+        {"ts": 2.1, "event": "progress", "done": 1, "total": 2,
+         "failed": 0, "cache_hits": 1, "eta_s": 0.7},
+        {"ts": 2.5, "event": "run_failed", "spec_hash": "bb"},
+    ]
+    log.write_text("".join(json.dumps(rec) + "\n" for rec in lines))
+    monitor = TelemetryMonitor(log, interval=0.01)
+    assert monitor.poll() == len(lines)
+
+    snap = monitor.registry.snapshot()
+    assert snap["campaign.runs_queued"] == 2
+    assert snap["campaign.runs_completed"] == 1
+    assert snap["campaign.cache_hits"] == 1
+    assert snap["campaign.runs_failed"] == 1
+    assert snap["campaign.done"] == 1.0
+    assert snap["campaign.total"] == 2.0
+    assert snap["campaign.eta_s"] == 0.7
+
+    # every record became a flight event, original ts preserved
+    assert monitor.flight.counts["run_queued"] == 2
+    queued = monitor.flight.events(kinds={"run_queued"})
+    assert queued[0].fields["src_ts"] == 1.1
+
+    # the recorder sampled: progress gauges have a series
+    series = monitor.recorder.snapshot()["series"]
+    assert series["campaign.done"]["points"]
+    assert monitor.poll() == 0  # idempotent on no new data
+
+
+async def _http_get(port, path):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(-1), timeout=10)
+    writer.close()
+    return raw.partition(b"\r\n\r\n")[2]
+
+
+async def _serve_live(tmp_path):
+    from repro.obs.prom import parse_exposition, validate_exposition
+
+    log = tmp_path / "telemetry.jsonl"
+    log.write_text(json.dumps(
+        {"ts": 1.0, "event": "campaign_started", "n_specs": 3}) + "\n")
+    handle = await start_serve(log, port=0, interval=0.05)
+    try:
+        await asyncio.sleep(0.15)
+        # Append while serving — including a torn partial line first.
+        with open(log, "a") as fh:
+            fh.write(json.dumps({"ts": 2.0, "event": "run_queued",
+                                 "spec_hash": "aa"}) + "\n")
+            fh.write('{"ts": 2.1, "event": "run_sta')
+            fh.flush()
+            await asyncio.sleep(0.15)
+            fh.write('rted", "spec_hash": "aa"}\n')
+            fh.write(json.dumps({"ts": 2.2, "event": "progress", "done": 1,
+                                 "total": 3, "failed": 0, "cache_hits": 0,
+                                 "eta_s": 4.2}) + "\n")
+        await asyncio.sleep(0.2)
+
+        assert handle.monitor.records_seen == 4
+        assert handle.monitor.tailer.bad_lines == 0  # torn line carried over
+
+        body = await _http_get(handle.port, "/series")
+        series = json.loads(body)["series"]
+        assert series["campaign.done"]["points"]
+        assert series["campaign.eta_s"]["points"][-1][1] == 4.2
+
+        body = await _http_get(handle.port, "/metrics.prom")
+        text = body.decode()
+        assert validate_exposition(text) == []
+        samples = parse_exposition(text)
+        assert samples["campaign_runs_queued_total"] == [({}, 1.0)]
+        assert samples["campaign_done"] == [({}, 1.0)]
+
+        body = await _http_get(handle.port, "/events")
+        counts = json.loads(body)["counts"]
+        assert counts["run_queued"] == 1 and counts["progress"] == 1
+
+        body = await _http_get(handle.port, "/dashboard")
+        assert b"EventSource" in body and b"telemetry.jsonl" in body
+
+        body = await _http_get(handle.port, "/metrics")
+        doc = json.loads(body)
+        assert doc["records_seen"] == 4
+        assert doc["registry"]["campaign.total"] == 3.0
+    finally:
+        await handle.stop()
+
+
+def test_obs_serve_tails_a_live_log(tmp_path):
+    asyncio.run(_serve_live(tmp_path))

@@ -1,0 +1,150 @@
+"""Live telemetry acceptance: a real lossy transfer observed end to end.
+
+A loopback fetch under injected loss must light up the whole live
+layer: non-empty per-subflow cwnd/throughput/energy series on
+``/series``, a valid Prometheus exposition on ``/metrics.prom`` that
+parses back, loss/RTO flight events on ``/events`` and in a dump file,
+SSE frames on ``/stream``, and the dashboard page itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.prom import parse_exposition, validate_exposition
+from repro.transport.client import fetch
+from repro.transport.server import TransportServer
+
+TRANSFER_BYTES = 512 * 1024
+
+
+async def _http_get(port: int, path: str) -> "tuple[bytes, str]":
+    """One in-loop GET (urllib would block the event loop the server
+    itself runs on); returns (body, content-type)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(-1), timeout=10)
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    content_type = ""
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-type:"):
+            content_type = line.split(b":", 1)[1].strip().decode()
+    return body, content_type
+
+
+async def _lossy_observed_transfer(tmp_path):
+    dump_path = tmp_path / "flight.jsonl"
+    server = TransportServer(
+        host="127.0.0.1", base_port=0, n_ports=2,
+        loss_rate=0.05, loss_seed=7, metrics_port=0,
+        record_interval=0.05, flight_dump_path=str(dump_path))
+    ports = await server.start()
+    try:
+        result = await fetch("127.0.0.1", ports, controller="dts",
+                             total_bytes=TRANSFER_BYTES, timeout=60.0)
+        assert result.bytes_received >= TRANSFER_BYTES
+        await asyncio.sleep(0.2)  # a couple more recorder samples
+
+        # --- /series: per-subflow cwnd/throughput + energy, with points
+        body, _ = await _http_get(server.metrics_port, "/series")
+        doc = json.loads(body)
+        names = doc["series"]
+        for needle in (".p0.cwnd", ".p1.cwnd", ".p0.throughput_bps",
+                       ".energy_j"):
+            matches = [n for n in names if n.endswith(needle)]
+            assert matches, f"no series ending {needle}: {sorted(names)}"
+            assert names[matches[0]]["points"], f"{needle} series empty"
+        cwnd_series = next(n for n in names if n.endswith(".p0.cwnd"))
+        assert names[cwnd_series]["kind"] == "gauge"
+        assert names[cwnd_series]["updated_unix"] > 0
+
+        # --- /metrics.prom: valid exposition, parses back
+        body, content_type = await _http_get(server.metrics_port,
+                                             "/metrics.prom")
+        text = body.decode()
+        assert content_type.startswith("text/plain")
+        assert validate_exposition(text) == []
+        samples = parse_exposition(text)
+        cwnd_metrics = [n for n in samples if n.endswith("_p0_cwnd")]
+        assert cwnd_metrics and samples[cwnd_metrics[0]][0][1] > 0
+        assert any(n.endswith("hellos_total") for n in samples)
+
+        # --- /events: injected loss produced loss (and recovery) events
+        body, _ = await _http_get(server.metrics_port, "/events")
+        events_doc = json.loads(body)
+        assert events_doc["counts"].get("loss", 0) > 0
+        assert events_doc["counts"].get("conn_start") == 1
+        assert events_doc["counts"].get("conn_done") == 1
+        assert events_doc["counts"].get("path_up") == 2
+        loss_events = [e for e in events_doc["events"] if e["kind"] == "loss"]
+        assert loss_events and {"conn", "path", "total"} <= set(loss_events[0])
+
+        # --- /dashboard: the self-contained page
+        body, content_type = await _http_get(server.metrics_port, "/dashboard")
+        assert content_type.startswith("text/html")
+        page = body.decode()
+        assert "EventSource" in page and "canvas" in page
+
+        # --- /stream: one SSE frame arrives and decodes
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.metrics_port)
+        writer.write(b"GET /stream HTTP/1.1\r\nHost: t\r\n\r\n")
+        await writer.drain()
+        header = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"),
+                                        timeout=10)
+        assert b"text/event-stream" in header
+        frame_raw = await asyncio.wait_for(reader.readuntil(b"\n\n"),
+                                           timeout=10)
+        frame = json.loads(frame_raw.split(b"data: ", 1)[1])
+        assert "latest" in frame and frame["latest"]
+        # stop() must not hang on the still-open stream (3.12 wait_closed)
+        await asyncio.wait_for(server.stop(), timeout=10)
+        writer.close()
+
+        # --- flight dump: explicit dump carries the loss/RTO history
+        server.flight.dump(dump_path, reason="test")
+        lines = [json.loads(line)
+                 for line in dump_path.read_text().splitlines()]
+        assert lines[0]["schema"] == "repro.obs.flight/1"
+        kinds = {rec["kind"] for rec in lines[1:]}
+        assert "loss" in kinds
+    finally:
+        await server.stop()  # idempotent
+
+
+def test_lossy_transfer_lights_up_live_telemetry(tmp_path):
+    asyncio.run(_lossy_observed_transfer(tmp_path))
+
+
+def test_recording_disabled_when_interval_zero():
+    async def run():
+        server = TransportServer(host="127.0.0.1", n_ports=1,
+                                 metrics_port=0, record_interval=0.0)
+        await server.start()
+        try:
+            assert server._record_task is None
+            body, _ = await _http_get(server.metrics_port, "/series")
+            assert json.loads(body)["samples_taken"] == 0
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_client_metrics_include_flight_events():
+    async def run():
+        server = TransportServer(host="127.0.0.1", n_ports=1,
+                                 metrics_port=None, record_interval=0.0)
+        ports = await server.start()
+        try:
+            result = await fetch("127.0.0.1", ports, controller="lia",
+                                 total_bytes=64 * 1024, timeout=30.0,
+                                 metrics_port=0)
+            assert result.bytes_received >= 64 * 1024
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
