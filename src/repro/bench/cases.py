@@ -39,6 +39,7 @@ __all__ = [
     "packet_transfer",
     "recorder_overhead_ratio",
     "spec_hash_cost",
+    "trace_overhead_ratio",
     "traced_packet_transfer",
     "transport_loopback_transfer",
 ]
@@ -471,6 +472,40 @@ def _obs_histogram_observe(ctx: BenchContext):
     _record_per_call(per_call)
 
 
+def trace_overhead_ratio(repeats: int = 3):
+    """Overhead an enabled tracer adds to the UDP loopback transfer.
+
+    Interleaves ``repeats`` 512 KiB lossless loopback self-tests with
+    tracing off (the :data:`~repro.obs.NULL_TRACER` floor) against
+    ``repeats`` with a live client+server tracer pair — the full
+    distributed-tracing path: span stack, handshake propagation,
+    per-subflow detached spans, loss/RTO instants — and compares
+    best-of-N wall times.  Returns ``(ratio, base_s, traced_s)``.
+    """
+    import asyncio
+
+    from repro.transport.client import loopback_selftest
+
+    def run(trace: bool) -> int:
+        result = asyncio.run(loopback_selftest(
+            controller="dts", subflows=2, total_bytes=512 * 1024,
+            loss_rate=0.0, timeout=60.0, trace=trace))
+        if trace:
+            assert result.client_shard is not None
+            assert result.client_shard["events"]
+        return result.fetch.bytes_received
+
+    base_best = traced_best = float("inf")
+    for _ in range(repeats):
+        t0 = MONOTONIC_CLOCK()
+        assert run(False) >= 512 * 1024
+        base_best = min(base_best, MONOTONIC_CLOCK() - t0)
+        t0 = MONOTONIC_CLOCK()
+        assert run(True) >= 512 * 1024
+        traced_best = min(traced_best, MONOTONIC_CLOCK() - t0)
+    return traced_best / base_best, base_best, traced_best
+
+
 @register("obs.recorder_overhead", suites=("tier1", "obs"),
           description="series+flight recorder drag on the packet transfer "
                       "(gated <5%)",
@@ -478,3 +513,12 @@ def _obs_histogram_observe(ctx: BenchContext):
 def _obs_recorder_overhead(ctx: BenchContext):
     ratio, _, _ = recorder_overhead_ratio()
     assert ratio < 1.05, f"live-telemetry overhead {ratio:.3f}x exceeds 5%"
+
+
+@register("obs.trace_overhead", suites=("tier1", "obs"),
+          description="tracer drag on the UDP loopback transfer "
+                      "(gated <5%)",
+          manages_session=True)
+def _obs_trace_overhead(ctx: BenchContext):
+    ratio, _, _ = trace_overhead_ratio()
+    assert ratio < 1.05, f"tracing overhead {ratio:.3f}x exceeds 5%"

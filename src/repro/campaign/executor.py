@@ -20,6 +20,8 @@ Design points:
 
 from __future__ import annotations
 
+import functools
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -90,6 +92,24 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
     }
 
 
+def _traced_run(run_fn: Callable[[RunSpec], Dict[str, Any]],
+                traceparent: Optional[str], spec: RunSpec) -> Dict[str, Any]:
+    """Wrap one run in its own tracer, joined to the driver's trace.
+
+    Module-level (pickled by the pool via ``functools.partial``): each
+    worker run gets a fresh :class:`~repro.obs.Tracer` whose root
+    ``campaign.run`` span parents under the driver's campaign span, and
+    the resulting shard rides back in the payload under ``"trace"``.
+    """
+    tracer = obs.Tracer(parent=traceparent)
+    with tracer.span("campaign.run", spec_hash=spec.content_hash(),
+                     topology=spec.topology, algorithm=spec.algorithm,
+                     n_subflows=spec.n_subflows, seed=spec.seed):
+        payload = run_fn(spec)
+    payload["trace"] = tracer.shard_dict(f"worker-{os.getpid()}")
+    return payload
+
+
 @dataclass
 class RunOutcome:
     """What happened to one spec in a campaign."""
@@ -125,6 +145,7 @@ class CampaignExecutor:
         run_timeout: Optional[float] = None,
         retries: int = 1,
         run_fn: Callable[[RunSpec], Dict[str, Any]] = execute_run,
+        trace_parent: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -136,6 +157,10 @@ class CampaignExecutor:
         self.run_timeout = run_timeout
         self.retries = retries
         self.run_fn = run_fn
+        #: When set (a ``traceparent`` string), every executed run is
+        #: wrapped by :func:`_traced_run` and its payload carries a
+        #: trace shard under ``"trace"``.
+        self.trace_parent = trace_parent
 
     # ------------------------------------------------------------------- run
 
@@ -143,7 +168,9 @@ class CampaignExecutor:
             campaign_name: str = "campaign") -> List[RunOutcome]:
         """Execute every spec; returns outcomes ordered like ``specs``."""
         tel = self.telemetry or CampaignTelemetry()
-        tel.campaign_started(campaign_name, n_runs=len(specs), jobs=self.jobs)
+        parsed = obs.parse_traceparent(self.trace_parent)
+        tel.campaign_started(campaign_name, n_runs=len(specs), jobs=self.jobs,
+                             trace_id=parsed[0] if parsed else None)
 
         outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
         pending: List[int] = []
@@ -183,7 +210,12 @@ class CampaignExecutor:
                                   cached=True, attempts=outcome.attempts)
             elif outcome.ok:
                 if self.cache is not None:
-                    path = self.cache.put(outcome.spec, outcome.payload)
+                    # The shard is run-local noise (span ids, pids): keep
+                    # the content-addressed cache deterministic by
+                    # stripping it before the payload is persisted.
+                    cacheable = {k: v for k, v in outcome.payload.items()
+                                 if k != "trace"}
+                    path = self.cache.put(outcome.spec, cacheable)
                     self._write_manifest(campaign_name, outcome, path)
                 tel.run_completed(outcome.spec, outcome.payload, outcome.wall_s,
                                   cached=False, attempts=outcome.attempts)
@@ -228,14 +260,25 @@ class CampaignExecutor:
 
     # ----------------------------------------------------------- strategies
 
+    def _effective_run_fn(self) -> Callable[[RunSpec], Dict[str, Any]]:
+        """``run_fn``, trace-wrapped when this executor traces.
+
+        ``functools.partial`` over module-level functions stays
+        picklable, so the wrapped form crosses the process pool.
+        """
+        if self.trace_parent is None:
+            return self.run_fn
+        return functools.partial(_traced_run, self.run_fn, self.trace_parent)
+
     def _run_inline(self, spec: RunSpec) -> RunOutcome:
         """Execute in-process, retrying on any exception."""
         attempts = 0
+        run_fn = self._effective_run_fn()
         t0 = time.perf_counter()
         while True:
             attempts += 1
             try:
-                payload = self.run_fn(spec)
+                payload = run_fn(spec)
                 return RunOutcome(spec, payload, wall_s=time.perf_counter() - t0,
                                   attempts=attempts)
             except Exception as exc:  # noqa: BLE001 - a run may fail arbitrarily
@@ -254,12 +297,13 @@ class CampaignExecutor:
         ``BrokenProcessPool`` (worker died hard) rebuilds the pool so
         the remaining runs still execute.
         """
+        run_fn = self._effective_run_fn()
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
         try:
             futures = {}
             for i in pending:
                 tel.run_started(specs[i])
-                futures[i] = pool.submit(self.run_fn, specs[i])
+                futures[i] = pool.submit(run_fn, specs[i])
             starts = {i: time.perf_counter() for i in pending}
             for i in pending:
                 attempts = 1
@@ -288,7 +332,7 @@ class CampaignExecutor:
                             # their own collection loops.
                             for j in pending:
                                 if outcomes[j] is None and j != i:
-                                    futures[j] = pool.submit(self.run_fn, specs[j])
+                                    futures[j] = pool.submit(run_fn, specs[j])
                         if attempts > self.retries:
                             outcomes[i] = RunOutcome(
                                 spec=specs[i], payload=None,
@@ -297,6 +341,6 @@ class CampaignExecutor:
                             emit_progress()
                             break
                         attempts += 1
-                        fut = pool.submit(self.run_fn, specs[i])
+                        fut = pool.submit(run_fn, specs[i])
         finally:
             pool.shutdown(wait=False, cancel_futures=True)

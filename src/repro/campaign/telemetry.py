@@ -122,9 +122,13 @@ class CampaignTelemetry:
 
     # ---------------------------------------------------------- run lifecycle
 
-    def campaign_started(self, name: str, n_runs: int, jobs: int) -> None:
+    def campaign_started(self, name: str, n_runs: int, jobs: int,
+                         trace_id: "str | None" = None) -> None:
         self._t0 = time.perf_counter()
-        self.emit("campaign_started", campaign=name, n_runs=n_runs, jobs=jobs)
+        fields: Dict[str, Any] = dict(campaign=name, n_runs=n_runs, jobs=jobs)
+        if trace_id:
+            fields["trace_id"] = trace_id
+        self.emit("campaign_started", **fields)
 
     def run_queued(self, spec) -> None:
         self.incr("runs_queued")
@@ -176,6 +180,9 @@ class CampaignTelemetry:
         for key in ("energy_per_gb", "aggregate_goodput_bps"):
             if key in metrics:
                 fields[key] = metrics[key]
+        trace = payload.get("trace") if isinstance(payload, dict) else None
+        if isinstance(trace, dict):
+            fields["trace_events"] = len(trace.get("events", []))
         snapshot = payload.get("obs", {}) if isinstance(payload, dict) else {}
         throughput = throughput_from_snapshot(snapshot, wall_s)
         for key, value in throughput.items():

@@ -29,6 +29,7 @@ Benchmarks + regression gate (docs/BENCHMARKS.md):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -151,6 +152,10 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
                         help="integrate on the legacy reference loop "
                              "(fast_path=False; bit-identical results — "
                              "for equivalence checks and debugging)")
+    parser.add_argument("--trace", default=None, metavar="DIR", dest="trace_dir",
+                        help="distributed tracing: write per-run worker "
+                             "trace shards, the driver shard, and a merged "
+                             "Perfetto JSON into DIR")
 
 
 def _apply_legacy_fluid(campaign, args) -> None:
@@ -196,6 +201,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
 
 def _campaign_plumbing(args):
     """Shared cache/telemetry/executor wiring for campaign and sweep."""
+    import repro.obs as obs
     from repro.campaign import CampaignExecutor, CampaignTelemetry, ResultCache
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -203,18 +209,57 @@ def _campaign_plumbing(args):
     if log_path is None:
         log_path = str(Path(args.cache_dir) / "campaign.log.jsonl")
     telemetry = CampaignTelemetry(log_path=log_path)
-    executor = CampaignExecutor(jobs=args.jobs, cache=cache, telemetry=telemetry,
-                                run_timeout=args.run_timeout)
-    return cache, telemetry, executor, log_path
+    trace = None
+    if getattr(args, "trace_dir", None) is not None:
+        # The driver tracer owns the root span every worker shard
+        # parents under; _finish_campaign_trace() closes and writes it.
+        tracer = obs.Tracer()
+        span = tracer.start_span("campaign.driver", jobs=args.jobs)
+        trace = {"tracer": tracer, "span": span, "dir": Path(args.trace_dir)}
+    executor = CampaignExecutor(
+        jobs=args.jobs, cache=cache, telemetry=telemetry,
+        run_timeout=args.run_timeout,
+        trace_parent=trace["span"].traceparent if trace else None)
+    return cache, telemetry, executor, log_path, trace
 
 
-def _run_campaign_specs(campaign, executor, telemetry, log_path) -> int:
+def _finish_campaign_trace(trace, campaign_name, outcomes) -> None:
+    """Write worker shards + the driver shard + the merged timeline."""
+    import json as _json
+
+    from repro.obs.trace_merge import merge_shards
+
+    out_dir = trace["dir"]
+    out_dir.mkdir(parents=True, exist_ok=True)
+    shards = []
+    for outcome in outcomes:
+        shard = (outcome.payload or {}).get("trace")
+        if not isinstance(shard, dict):
+            continue  # cached or failed runs carry no shard
+        shards.append(shard)
+        path = out_dir / f"run-{outcome.spec.content_hash()[:16]}.trace.json"
+        path.write_text(_json.dumps(shard), encoding="utf-8")
+    trace["span"].finish(runs=len(outcomes), shards=len(shards))
+    driver_shard = trace["tracer"].shard_dict(f"campaign-{campaign_name}")
+    (out_dir / "driver.trace.json").write_text(
+        _json.dumps(driver_shard), encoding="utf-8")
+    doc, stats = merge_shards([driver_shard] + shards)
+    merged = out_dir / "merged.trace.json"
+    merged.write_text(_json.dumps(doc), encoding="utf-8")
+    print(f"trace: {len(shards)} worker shard(s) + driver -> {merged} "
+          f"({stats.events} events, {stats.orphans} orphans)")
+
+
+def _run_campaign_specs(campaign, executor, telemetry, log_path,
+                        trace=None) -> int:
     """Execute a CampaignSpec and print per-topology tables + a summary."""
     from repro.experiments.fig12_14_subflows import sweep_result_from_outcomes
 
     start = time.time()
     outcomes = executor.run(campaign.runs, campaign_name=campaign.name)
     wall = time.time() - start
+    if trace is not None:
+        _finish_campaign_trace(trace, campaign.name, outcomes)
 
     failed = [o for o in outcomes if not o.ok]
     for group_name, counts, seeds, group in _group_outcomes(campaign, outcomes):
@@ -287,8 +332,8 @@ def _campaign_main(argv: List[str]) -> int:
         return 2
     _apply_legacy_fluid(campaign, args)
 
-    _, telemetry, executor, log_path = _campaign_plumbing(args)
-    return _run_campaign_specs(campaign, executor, telemetry, log_path)
+    _, telemetry, executor, log_path, trace = _campaign_plumbing(args)
+    return _run_campaign_specs(campaign, executor, telemetry, log_path, trace)
 
 
 def _sweep_main(argv: List[str]) -> int:
@@ -314,8 +359,8 @@ def _sweep_main(argv: List[str]) -> int:
         return 2
     _apply_legacy_fluid(campaign, args)
 
-    _, telemetry, executor, log_path = _campaign_plumbing(args)
-    return _run_campaign_specs(campaign, executor, telemetry, log_path)
+    _, telemetry, executor, log_path, trace = _campaign_plumbing(args)
+    return _run_campaign_specs(campaign, executor, telemetry, log_path, trace)
 
 
 # ------------------------------------------------------------------------ obs
@@ -349,6 +394,27 @@ def build_obs_parser() -> argparse.ArgumentParser:
         "promcheck", help="validate a Prometheus text exposition (file "
                           "or '-' for stdin)")
     promcheck.add_argument("file", metavar="FILE")
+
+    merge = sub.add_parser(
+        "merge-trace", help="stitch per-process trace shards "
+                            "(repro.obs.trace/1) into one Perfetto JSON")
+    merge.add_argument("shards", nargs="+", metavar="SHARD",
+                       help="shard files from traced processes")
+    merge.add_argument("-o", "--out", required=True, metavar="FILE",
+                       help="merged Chrome trace_event JSON output path")
+    merge.add_argument("--drop-orphans", action="store_true",
+                       help="drop events whose parent span is in no shard "
+                            "(default: quarantine them on an '(orphans)' "
+                            "track)")
+
+    analyze = sub.add_parser(
+        "analyze", help="diagnose merged traces / shards / series "
+                        "snapshots / flight dumps into a structured report")
+    analyze.add_argument("files", nargs="+", metavar="FILE",
+                         help="inputs (kinds are sniffed from content)")
+    analyze.add_argument("-o", "--out", default=None, metavar="FILE",
+                         help="also write the diagnosis JSON "
+                              "(repro.obs.diagnosis/1) to FILE")
     return parser
 
 
@@ -386,12 +452,57 @@ def _obs_promcheck(args) -> int:
     return 1 if problems else 0
 
 
+def _obs_merge_trace(args) -> int:
+    from repro.obs.trace_merge import write_merged
+
+    try:
+        stats = write_merged(args.shards, args.out,
+                             drop_orphans=args.drop_orphans)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"merged {stats.shards} shard(s) -> {args.out}: "
+          f"{stats.events} events on {len(stats.processes)} process "
+          f"track(s) ({', '.join(stats.processes)}), "
+          f"{stats.orphans} orphan(s)")
+    return 0
+
+
+def _obs_analyze(args) -> int:
+    from repro.obs.analyze import analyze_paths, validate_diagnosis
+    from repro.obs.report import _render_diagnosis
+
+    try:
+        report = analyze_paths(args.files)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_diagnosis(report)
+    for problem in problems:  # pragma: no cover - internal invariant
+        print(f"internal: {problem}", file=sys.stderr)
+    unknown = [i["path"] for i in report["inputs"] if i["kind"] == "unknown"]
+    for path in unknown:
+        print(f"warning: {path}: unrecognized input, skipped",
+              file=sys.stderr)
+    print(_render_diagnosis(report))
+    if args.out is not None:
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"diagnosis: {args.out}")
+    return 2 if problems else 0
+
+
 def _obs_main(argv: List[str]) -> int:
     args = build_obs_parser().parse_args(argv)
     if args.command == "serve":
         return _obs_serve(args)
     if args.command == "promcheck":
         return _obs_promcheck(args)
+    if args.command == "merge-trace":
+        return _obs_merge_trace(args)
+    if args.command == "analyze":
+        return _obs_analyze(args)
     from repro.obs.report import render_file
 
     rc = 0
@@ -635,7 +746,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "0 disables recording)")
     parser.add_argument("--flight-dump", default=None, metavar="FILE",
                         help="flight-recorder dump path (written on "
-                             "SIGUSR1 and on anomaly thresholds)")
+                             "SIGUSR1, on anomaly thresholds, and at "
+                             "shutdown)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="record connection/subflow spans; the shard "
+                             "(repro.obs.trace/1) is written to FILE on "
+                             "shutdown and served live at /trace")
     return parser
 
 
@@ -675,6 +791,12 @@ def build_fetch_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", default=None, metavar="FILE",
                         help="write the result document as JSON "
                              "('-' for stdout)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="record a client trace shard to FILE; the "
+                             "traceparent rides the HELLO so a traced "
+                             "server's spans join the same trace "
+                             "(selftest: also writes FILE's sibling "
+                             "'<stem>.server.json' with the serve shard)")
     return parser
 
 
@@ -722,6 +844,7 @@ def _serve_main(argv: List[str]) -> int:
             idle_timeout=args.idle_timeout,
             record_interval=args.record_interval,
             flight_dump_path=args.flight_dump,
+            trace=args.trace is not None,
         )
         if args.flight_dump is not None:
             server.flight.install_signal_handler()
@@ -749,6 +872,13 @@ def _serve_main(argv: List[str]) -> int:
             return 0
         finally:
             await server.stop()
+            if args.flight_dump is not None and server.flight.recorded:
+                server.flight.dump(reason="shutdown")
+                print(f"flight dump: {args.flight_dump} "
+                      f"({server.flight.recorded} events)")
+            if args.trace is not None:
+                n = server.tracer.export_shard(args.trace, "repro-serve")
+                print(f"trace shard: {args.trace} ({n} events)")
 
     try:
         return asyncio.run(run())
@@ -760,6 +890,9 @@ def _fetch_main(argv: List[str]) -> int:
     import asyncio
 
     args = build_fetch_parser().parse_args(argv)
+    import json as _json
+
+    import repro.obs as obs
     from repro.transport.client import fetch, loopback_selftest
 
     try:
@@ -773,7 +906,19 @@ def _fetch_main(argv: List[str]) -> int:
                 loss_seed=args.loss_seed,
                 timeout=args.timeout,
                 metrics_port=args.metrics_port,
+                trace=args.trace is not None,
             ))
+            if args.trace is not None:
+                trace_path = Path(args.trace)
+                trace_path.parent.mkdir(parents=True, exist_ok=True)
+                trace_path.write_text(_json.dumps(result.client_shard),
+                                      encoding="utf-8")
+                server_path = trace_path.with_name(
+                    trace_path.stem + ".server.json")
+                server_path.write_text(_json.dumps(result.server_shard),
+                                       encoding="utf-8")
+                if args.json != "-":
+                    print(f"trace shards: {trace_path} + {server_path}")
             if args.json != "-":  # keep stdout pure JSON for pipelines
                 _print_fetch_result(result.fetch)
                 conn_snaps = result.server_metrics.get("connections", {})
@@ -785,6 +930,7 @@ def _fetch_main(argv: List[str]) -> int:
             _emit_json(result.to_dict(), args.json)
             return 0 if result.fetch.bytes_received >= args.bytes else 1
         ports = [args.port + i for i in range(args.subflows)]
+        tracer = obs.Tracer() if args.trace is not None else None
         result = asyncio.run(fetch(
             args.host,
             ports,
@@ -795,7 +941,12 @@ def _fetch_main(argv: List[str]) -> int:
             loss_seed=args.loss_seed,
             timeout=args.timeout,
             metrics_port=args.metrics_port,
+            tracer=tracer,
         ))
+        if tracer is not None:
+            n = tracer.export_shard(args.trace, "repro-fetch")
+            if args.json != "-":
+                print(f"trace shard: {args.trace} ({n} events)")
         if args.json != "-":  # keep stdout pure JSON for pipelines
             _print_fetch_result(result)
         _emit_json(result.to_dict(), args.json)

@@ -47,7 +47,16 @@ from repro.obs.metrics import (
     geometric_buckets,
 )
 from repro.obs.timeseries import SeriesRecorder, TimeSeries
-from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+from repro.obs.tracing import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    SpanHandle,
+    Tracer,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+)
 
 __all__ = [
     "MANIFEST_SCHEMA",
@@ -62,14 +71,19 @@ __all__ = [
     "ObsSession",
     "RunManifest",
     "SeriesRecorder",
+    "SpanHandle",
+    "TRACE_SCHEMA",
     "TimeSeries",
     "Tracer",
     "active_session",
     "annotate",
     "current_tracer",
     "end_session",
+    "format_traceparent",
     "geometric_buckets",
     "git_sha",
+    "new_trace_id",
+    "parse_traceparent",
     "record_event",
     "registry_or_new",
     "session",

@@ -72,14 +72,21 @@ def _fmt(value: float) -> str:
 
 
 def render_snapshot(snapshot: Dict[str, Any],
-                    kinds: Optional[Dict[str, str]] = None) -> str:
+                    kinds: Optional[Dict[str, str]] = None,
+                    updated: Optional[Dict[str, float]] = None) -> str:
     """Exposition text for a registry snapshot dict.
 
     ``kinds`` maps instrument name → "counter" | "gauge" | "histogram";
     without it, nested dicts render as histograms and plain numbers as
     gauges (a snapshot alone cannot distinguish counters from gauges).
+
+    ``updated`` maps instrument name → last-update wall time; gauges
+    present in it get a companion ``<name>_updated_unix`` gauge so
+    scrapers (and alert rules) can tell a stale last value from a live
+    one without our JSON ``/series`` document.
     """
     kinds = kinds or {}
+    updated = updated or {}
     lines: List[str] = []
     for name in sorted(snapshot):
         value = snapshot[name]
@@ -106,13 +113,21 @@ def render_snapshot(snapshot: Dict[str, Any],
             lines.append(f"# HELP {base} {name}")
             lines.append(f"# TYPE {base} gauge")
             lines.append(f"{base} {_fmt(value)}")
+            if name in updated:
+                stamp = sanitize_name(name + "_updated_unix")
+                lines.append(f"# HELP {stamp} last set() wall time of {name}")
+                lines.append(f"# TYPE {stamp} gauge")
+                lines.append(f"{stamp} {_fmt(updated[name])}")
     return "\n".join(lines) + "\n" if lines else ""
 
 
 def render_registry(registry: MetricsRegistry) -> str:
     """Exposition text for a live registry (exact instrument kinds)."""
     kinds = {inst.name: inst.kind for inst in registry.instruments()}
-    return render_snapshot(registry.snapshot(), kinds)
+    updated = {inst.name: inst.updated_unix
+               for inst in registry.instruments()
+               if inst.kind == "gauge" and inst.updated_unix is not None}
+    return render_snapshot(registry.snapshot(), kinds, updated)
 
 
 # ------------------------------------------------------------------ checking

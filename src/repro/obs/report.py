@@ -31,10 +31,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.results import BENCH_SCHEMA
+from repro.obs.analyze import DIAGNOSIS_SCHEMA
 from repro.obs.flight import FLIGHT_SCHEMA
 from repro.obs.manifest import MANIFEST_SCHEMA
 from repro.obs.metrics import percentiles_from_counts
 from repro.obs.tail import split_jsonl
+from repro.obs.timeseries import SERIES_SCHEMA
+from repro.obs.tracing import TRACE_SCHEMA
 
 __all__ = ["describe_file", "render_file"]
 
@@ -55,6 +58,12 @@ def _load(path: Path) -> Tuple[str, Any, List[str]]:
             return "manifest", doc, []
         if doc.get("schema") == BENCH_SCHEMA:
             return "bench", doc, []
+        if doc.get("schema") == TRACE_SCHEMA:
+            return "trace-shard", doc, []
+        if doc.get("schema") == SERIES_SCHEMA:
+            return "series", doc, []
+        if doc.get("schema") == DIAGNOSIS_SCHEMA:
+            return "diagnosis", doc, []
         if not _jsonl_kind(doc):
             raise ValueError(f"{path}: unrecognized JSON document")
         # else: a one-line JSONL artifact that parsed as a single object;
@@ -277,8 +286,69 @@ def _render_flight(records: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def _render_trace_shard(doc: Dict[str, Any]) -> str:
+    spans = [r for r in doc.get("events", []) if r.get("type") == "span"]
+    instants = [r for r in doc.get("events", []) if r.get("type") == "instant"]
+    head = (f"trace shard: process {doc.get('process_name')!r} "
+            f"(pid {doc.get('pid')}), trace {doc.get('trace_id', '')[:12]}…, "
+            f"{len(spans)} spans, {len(instants)} instants"
+            + (f", dropped={doc.get('dropped')}" if doc.get("dropped") else ""))
+    return head + "\n" + _span_rows(spans, instants)
+
+
+def _render_series(doc: Dict[str, Any]) -> str:
+    from repro.analysis.report import format_table
+
+    series = doc.get("series", {})
+    rows: List[List[Any]] = []
+    for name in sorted(series):
+        entry = series[name]
+        points = entry.get("points", [])
+        last = points[-1][1] if points else ""
+        rows.append([name, entry.get("kind", "?"), len(points), last])
+    head = (f"series snapshot: {len(series)} series, "
+            f"interval={doc.get('interval_s')}s, "
+            f"samples={doc.get('samples_taken')}")
+    return head + "\n" + format_table(
+        ["series", "kind", "points", "last"], rows)
+
+
+def _render_diagnosis(doc: Dict[str, Any]) -> str:
+    from repro.analysis.report import format_table
+
+    summary = doc.get("summary", {})
+    lines = [f"diagnosis: {summary.get('findings', 0)} finding(s) "
+             f"over {len(doc.get('inputs', []))} input(s) "
+             f"({summary.get('trace_events', 0)} trace events, "
+             f"{summary.get('flight_events', 0)} flight events)"]
+    findings = doc.get("findings", [])
+    if findings:
+        lines.append(format_table(
+            ["severity", "kind", "title", "evidence"],
+            [[f.get("severity"), f.get("kind"), f.get("title"),
+              len(f.get("evidence", []))] for f in findings]))
+        for f in findings:
+            lines.append(f"  [{f.get('severity')}] {f.get('title')}: "
+                         f"{f.get('detail')}")
+    for p in doc.get("critical_paths", []):
+        chain = " > ".join(s["name"] for s in p.get("steps", []))
+        lines.append(f"  critical path ({p.get('total_us', 0) / 1e3:.2f} ms): "
+                     f"{chain}")
+    controllers = doc.get("controllers", {})
+    if controllers:
+        lines.append(format_table(
+            ["controller", "connections", "energy J", "J/bit"],
+            [[name, stats.get("connections"), stats.get("energy_j"),
+              stats.get("joules_per_bit")]
+             for name, stats in sorted(controllers.items())]))
+    return "\n".join(lines)
+
+
 _RENDERERS = {
     "chrome-trace": _render_chrome,
+    "trace-shard": _render_trace_shard,
+    "series": _render_series,
+    "diagnosis": _render_diagnosis,
     "trace-jsonl": _render_trace_jsonl,
     "metrics-jsonl": _render_metrics,
     "manifest": _render_manifest,

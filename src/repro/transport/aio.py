@@ -52,8 +52,10 @@ class DatagramEndpoint(asyncio.DatagramProtocol):
     endpoint down.
     """
 
-    def __init__(self, on_segment: SegmentHandler):
+    def __init__(self, on_segment: SegmentHandler,
+                 on_bad_datagram: Optional[Callable[[int], None]] = None):
         self.on_segment = on_segment
+        self.on_bad_datagram = on_bad_datagram
         self.transport: Optional[asyncio.DatagramTransport] = None
         self.bad_datagrams = 0
         self.datagrams_received = 0
@@ -70,6 +72,13 @@ class DatagramEndpoint(asyncio.DatagramProtocol):
             segment = decode(data)
         except WireError:
             self.bad_datagrams += 1
+            if self.on_bad_datagram is not None:
+                # Observability hook (flight events / trace instants);
+                # a raising observer must not take the endpoint down.
+                try:
+                    self.on_bad_datagram(len(data))
+                except Exception:  # noqa: BLE001
+                    pass
             return
         self.on_segment(segment, addr)
 
@@ -95,11 +104,12 @@ async def open_endpoint(
     *,
     local_addr: Optional[Addr] = None,
     remote_addr: Optional[Addr] = None,
+    on_bad_datagram: Optional[Callable[[int], None]] = None,
 ) -> "tuple[asyncio.DatagramTransport, DatagramEndpoint]":
     """Bind (and optionally connect) one UDP socket."""
     loop = asyncio.get_running_loop()
     transport, protocol = await loop.create_datagram_endpoint(
-        lambda: DatagramEndpoint(on_segment),
+        lambda: DatagramEndpoint(on_segment, on_bad_datagram),
         local_addr=local_addr,
         remote_addr=remote_addr,
     )

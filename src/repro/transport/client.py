@@ -100,11 +100,15 @@ class FetchConnection:
         loss_rate: float = 0.0,
         loss_seed: Optional[int] = None,
         flight: "Optional[obs.FlightRecorder]" = None,
+        tracer: "obs.Tracer | obs.NullTracer" = obs.NULL_TRACER,
+        traceparent: Optional[str] = None,
     ):
         if not ports:
             raise ConfigurationError("fetch needs at least one port")
         self.conn_id = conn_id
         self.flight = flight
+        self.tracer = tracer
+        self.traceparent = traceparent
         self.host = host
         self.ports = list(ports)
         self.controller = controller
@@ -156,7 +160,8 @@ class FetchConnection:
             "payload_bytes": self.payload_bytes,
         }
         async def handshake(i: int) -> None:
-            datagram = encode_hello(self.conn_id, i, hello_params)
+            datagram = encode_hello(self.conn_id, i, hello_params,
+                                    traceparent=self.traceparent)
             for attempt in range(HELLO_ATTEMPTS):
                 if attempt > 0 and self.flight is not None:
                     self.flight.record("hello_retry", conn=self.conn_id,
@@ -165,6 +170,9 @@ class FetchConnection:
                 try:
                     await asyncio.wait_for(
                         asyncio.shield(self._hello_acked[i]), HELLO_RETRY)
+                    if self.tracer.enabled:
+                        self.tracer.instant("fetch.hello_ack", conn=self.conn_id,
+                                            path=i, attempts=attempt + 1)
                     return
                 except asyncio.TimeoutError:
                     continue
@@ -266,10 +274,20 @@ async def fetch(
     loss_seed: Optional[int] = None,
     timeout: float = 120.0,
     metrics_port: Optional[int] = None,
+    tracer: "obs.Tracer | obs.NullTracer | None" = None,
 ) -> FetchResult:
-    """Download ``total_bytes`` from a transport server; returns the result."""
+    """Download ``total_bytes`` from a transport server; returns the result.
+
+    With a ``tracer`` (explicit, or the ambient session's when tracing
+    is on), the whole download runs under a ``fetch.transfer`` span
+    whose traceparent rides the HELLO to the server — the server's
+    connection/subflow spans parent under it, so a merged trace shows
+    one causal timeline across both processes.
+    """
     import os
 
+    if tracer is None:
+        tracer = obs.current_tracer()
     total_segments = max(1, -(-total_bytes // payload_bytes))
     # Random default id: concurrent fetches from separate processes must
     # not collide on the server (a counter would restart at 1 per process).
@@ -282,6 +300,7 @@ async def fetch(
         payload_bytes=payload_bytes,
         loss_rate=loss_rate,
         loss_seed=loss_seed,
+        tracer=tracer,
     )
     metrics: Optional[MetricsHttpServer] = None
     session = obs.ObsSession(label="transport-fetch")
@@ -300,8 +319,14 @@ async def fetch(
                  "/healthz": lambda: {"status": "ok"}},
                 port=metrics_port)
             await metrics.start()
-        await conn.connect()
-        await conn.wait_complete(timeout)
+        with tracer.span("fetch.transfer", conn=conn.conn_id,
+                         controller=controller, subflows=len(ports),
+                         total_bytes=total_bytes):
+            # The transfer span is the remote parent the server joins.
+            conn.traceparent = tracer.current_traceparent()
+            with tracer.span("fetch.connect", paths=len(ports)):
+                await conn.connect()
+            await conn.wait_complete(timeout)
         return conn.result(controller)
     finally:
         conn.close()
@@ -316,13 +341,21 @@ class SelftestResult:
     fetch: FetchResult
     server_metrics: dict
     server_manifest: dict
+    #: Trace shards (client and server tracers) when tracing was on.
+    client_shard: Optional[dict] = None
+    server_shard: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "fetch": self.fetch.to_dict(),
             "server_metrics": self.server_metrics,
             "server_manifest": self.server_manifest,
         }
+        if self.client_shard is not None:
+            out["client_shard"] = self.client_shard
+        if self.server_shard is not None:
+            out["server_shard"] = self.server_shard
+        return out
 
 
 async def loopback_selftest(
@@ -335,15 +368,20 @@ async def loopback_selftest(
     loss_seed: Optional[int] = 42,
     timeout: float = 120.0,
     metrics_port: Optional[int] = None,
+    trace: bool = False,
 ) -> SelftestResult:
     """Server + fetch in one event loop over loopback, with injected loss.
 
     The loss shim wraps the *server's* send path (forward/data loss) —
     the hard direction for a sender, exercising fast retransmit, SACK
-    hole-filling and RTOs for real.
+    hole-filling and RTOs for real.  With ``trace=True`` both sides run
+    real tracers (distinct, as in separate processes) and the result
+    carries both shards for ``repro obs merge-trace``.
     """
     from repro.transport.server import TransportServer
 
+    client_tracer: "obs.Tracer | obs.NullTracer" = \
+        obs.Tracer() if trace else obs.NULL_TRACER
     server = TransportServer(
         host="127.0.0.1",
         base_port=0,
@@ -351,6 +389,7 @@ async def loopback_selftest(
         loss_rate=loss_rate,
         loss_seed=loss_seed,
         metrics_port=metrics_port if metrics_port is not None else 0,
+        trace=trace,
     )
     ports = await server.start()
     try:
@@ -361,13 +400,24 @@ async def loopback_selftest(
             total_bytes=total_bytes,
             payload_bytes=payload_bytes,
             timeout=timeout,
+            tracer=client_tracer,
         )
-        # Let the server's driver observe the final ACKs/BYE.
+        # Wait for the server's driver to see the final ACKs and close
+        # the connection (it finishes the serve-side spans there), then
+        # linger briefly for the closing energy sample.
+        try:
+            await asyncio.wait_for(server.wait_connection_complete(), 5.0)
+        except asyncio.TimeoutError:  # pragma: no cover - slow CI safety
+            pass
         await asyncio.sleep(0.05)
         metrics = server.metrics_snapshot()
         manifest = server.manifest_snapshot()
         result.server_metrics = metrics
         return SelftestResult(
-            fetch=result, server_metrics=metrics, server_manifest=manifest)
+            fetch=result, server_metrics=metrics, server_manifest=manifest,
+            client_shard=(client_tracer.shard_dict("loopback-fetch")
+                          if trace else None),
+            server_shard=server.trace_shard("loopback-serve")
+            if trace else None)
     finally:
         await server.stop()

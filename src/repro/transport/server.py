@@ -94,11 +94,21 @@ class ServedConnection:
         host_model: HostPowerModel,
         registry: "Optional[obs.MetricsRegistry]" = None,
         flight: "Optional[obs.FlightRecorder]" = None,
+        tracer: "obs.Tracer | obs.NullTracer" = obs.NULL_TRACER,
     ):
         self.conn_id = conn_id
         self.params = params
         self.clock = clock
         self.flight = flight
+        self.tracer = tracer
+        #: Validated client trace context from the HELLO (or None): the
+        #: remote parent this connection's spans join.
+        self.traceparent: Optional[str] = (
+            params.get("traceparent")
+            if obs.parse_traceparent(params.get("traceparent")) is not None
+            else None)
+        self._span_conn: Optional[obs.SpanHandle] = None
+        self._span_subflows: "List[obs.SpanHandle]" = []
         self.controller_name = str(params.get("controller", "lia"))
         self.controller = create_controller(self.controller_name)
         total_segments = int(params["total_segments"])
@@ -167,6 +177,21 @@ class ServedConnection:
         """All paths are up: open every subflow window."""
         now = self.clock()
         self.started_at = now
+        if self.tracer.enabled:
+            # Detached spans (finished at teardown): the connection span
+            # joins the client's trace via the HELLO traceparent; each
+            # subflow span parents under the connection span.
+            self._span_conn = self.tracer.start_span(
+                "serve.connection", parent=self.traceparent,
+                conn=self.conn_id, controller=self.controller_name,
+                n_subflows=self.n_paths, total_segments=self.supply.total,
+                payload_bytes=self.payload_bytes)
+            self._span_subflows = [
+                self.tracer.start_span("serve.subflow",
+                                       parent=self._span_conn,
+                                       conn=self.conn_id, path=i)
+                for i in range(self.n_paths)
+            ]
         self._sample_energy(now)  # anchor the trapezoid at t0
         for core in self.cores:
             core.start()
@@ -245,27 +270,40 @@ class ServedConnection:
             self._g_power.set(self.energy.mean_power_w)
 
     def _probe_flight(self) -> None:
-        """Turn per-core counter deltas into flight events."""
-        if self.flight is None:
+        """Turn per-core counter deltas into flight events (and, when
+        tracing, instants parented under the subflow's span)."""
+        if self.flight is None and not self.tracer.enabled:
             return
+        traced = bool(self._span_subflows)
         for i, core in enumerate(self.cores):
             if core.loss_events > self._fl_loss[i]:
-                self.flight.record(
-                    "loss", conn=self.conn_id, path=i,
-                    new=core.loss_events - self._fl_loss[i],
-                    total=core.loss_events, cwnd=core.cwnd)
+                if self.flight is not None:
+                    self.flight.record(
+                        "loss", conn=self.conn_id, path=i,
+                        new=core.loss_events - self._fl_loss[i],
+                        total=core.loss_events, cwnd=core.cwnd)
+                if traced:
+                    self._span_subflows[i].instant(
+                        "serve.loss", conn=self.conn_id, path=i,
+                        total=core.loss_events, cwnd=core.cwnd)
                 self._fl_loss[i] = core.loss_events
             if core.timeouts > self._fl_rto[i]:
-                self.flight.record(
-                    "rto", conn=self.conn_id, path=i,
-                    new=core.timeouts - self._fl_rto[i],
-                    total=core.timeouts, rto_s=core.rto)
+                if self.flight is not None:
+                    self.flight.record(
+                        "rto", conn=self.conn_id, path=i,
+                        new=core.timeouts - self._fl_rto[i],
+                        total=core.timeouts, rto_s=core.rto)
+                if traced:
+                    self._span_subflows[i].instant(
+                        "serve.rto", conn=self.conn_id, path=i,
+                        total=core.timeouts, rto_s=core.rto)
                 self._fl_rto[i] = core.timeouts
             if core.fast_retransmits > self._fl_frtx[i]:
-                self.flight.record(
-                    "fast_retransmit", conn=self.conn_id, path=i,
-                    new=core.fast_retransmits - self._fl_frtx[i],
-                    total=core.fast_retransmits)
+                if self.flight is not None:
+                    self.flight.record(
+                        "fast_retransmit", conn=self.conn_id, path=i,
+                        new=core.fast_retransmits - self._fl_frtx[i],
+                        total=core.fast_retransmits)
                 self._fl_frtx[i] = core.fast_retransmits
 
     def finalize(self) -> None:
@@ -273,6 +311,21 @@ class ServedConnection:
         now = self.clock()
         if self._last_sample is not None and now > self._last_sample:
             self._sample_energy(now)
+
+    def close_spans(self, outcome: str) -> None:
+        """Finish the connection/subflow spans (idempotent)."""
+        for i, handle in enumerate(self._span_subflows):
+            core = self.cores[i]
+            handle.finish(acked=core.acked,
+                          retransmitted=core.retransmitted,
+                          timeouts=core.timeouts,
+                          loss_events=core.loss_events)
+        if self._span_conn is not None:
+            self._span_conn.finish(
+                outcome=outcome,
+                acked_segments=self.supply.acked,
+                energy_j=round(self.energy.energy_j, 6),
+                elapsed_s=round(self.elapsed(), 6))
 
     # ------------------------------------------------------------ reporting
 
@@ -340,6 +393,7 @@ class TransportServer:
         series_capacity: int = 512,
         flight_capacity: int = 2048,
         flight_dump_path: Optional[str] = None,
+        trace: bool = False,
     ):
         if n_ports < 1:
             raise ConfigurationError(f"need at least one port, got {n_ports}")
@@ -355,7 +409,8 @@ class TransportServer:
         self.ports: List[int] = []
         self.connections: Dict[int, ServedConnection] = {}
         self.completed_connections = 0
-        self.session = obs.ObsSession(label="transport-serve")
+        self.session = obs.ObsSession(label="transport-serve", trace=trace)
+        self.tracer = self.session.tracer
         self.recorder = self.session.attach_series(
             interval=record_interval, capacity=series_capacity)
         self.flight = self.session.attach_flight(
@@ -387,7 +442,8 @@ class TransportServer:
         for i in range(self.n_ports):
             port = 0 if self.base_port == 0 else self.base_port + i
             transport, endpoint = await open_endpoint(
-                self._make_handler(i), local_addr=(self.host, port))
+                self._make_handler(i), local_addr=(self.host, port),
+                on_bad_datagram=self._make_bad_datagram_probe(i))
             send_transport: object = transport
             if self.loss_rate > 0.0:
                 seed = None if self.loss_seed is None else self.loss_seed + i
@@ -407,6 +463,7 @@ class TransportServer:
                     "/events": self.flight.snapshot,
                     "/dashboard": self.dashboard_page,
                     "/stream": SseRoute(self._stream_frames),
+                    "/trace": self.trace_route,
                 },
                 host=self.host,
                 port=self.metrics_port,
@@ -478,6 +535,15 @@ class TransportServer:
             self._on_segment(path_index, segment, addr)
         return handler
 
+    def _make_bad_datagram_probe(self, path_index: int):
+        def probe(n_bytes: int) -> None:
+            self.flight.record("bad_datagram", path=path_index,
+                               bytes=n_bytes)
+            if self.tracer.enabled:
+                self.tracer.instant("serve.bad_datagram",
+                                    path=path_index, bytes=n_bytes)
+        return probe
+
     def _on_segment(self, path_index: int, segment: Segment, addr: Addr) -> None:
         if isinstance(segment, HelloSegment):
             self._on_hello(path_index, segment, addr)
@@ -515,6 +581,7 @@ class TransportServer:
                     host_model=self.host_model,
                     registry=self.session.registry,
                     flight=self.flight,
+                    tracer=self.tracer,
                 )
             except (KeyError, ValueError, ConfigurationError):
                 return  # malformed or unsatisfiable HELLO: ignore it
@@ -554,6 +621,7 @@ class TransportServer:
                     # Tell the client (best effort) and linger briefly so
                     # straggling ACKs don't spawn ICMP noise.
                     conn.finalize()
+                    conn.close_spans("done")
                     for path_id, (transport, addr) in conn.paths.items():
                         transport.sendto(encode_bye(conn.conn_id, path_id), addr)
                     self.completed_connections += 1
@@ -567,6 +635,8 @@ class TransportServer:
                     now - conn.last_activity > self.idle_timeout
                 ):
                     conn.finalize()
+                    conn.close_spans(
+                        "client_done" if conn.client_done else "idle")
                     self.flight.record(
                         "conn_dropped", conn=conn.conn_id,
                         reason="client_done" if conn.client_done else "idle",
@@ -612,6 +682,21 @@ class TransportServer:
             render_dashboard(title="repro transport - live telemetry",
                              interval_ms=interval_ms),
             content_type="text/html; charset=utf-8")
+
+    def trace_shard(self, process_name: str = "repro-serve") -> Optional[dict]:
+        """This server's trace shard (``repro.obs.trace/1``), or None
+        when the server was started without ``trace=True``."""
+        if not self.tracer.enabled:
+            return None
+        return self.tracer.shard_dict(process_name)
+
+    def trace_route(self) -> dict:
+        """The ``/trace`` document: the live trace shard so far."""
+        shard = self.trace_shard()
+        if shard is None:
+            return {"enabled": False,
+                    "hint": "start the server with --trace to record spans"}
+        return shard
 
     def manifest_snapshot(self) -> dict:
         """The ``/manifest`` document (run provenance)."""

@@ -27,7 +27,12 @@ Bodies:
   per segment, so one block suffices; the count field keeps the format
   range-capable).
 * HELLO / HELLO_ACK — ``length`` (u16) + UTF-8 JSON parameters
-  (controller name, subflow count, transfer size, payload bytes).
+  (controller name, subflow count, transfer size, payload bytes, and —
+  optionally — a ``traceparent`` carrying the client's distributed-trace
+  context).  The JSON body is the forward-compatibility seam: decoders
+  keep unknown keys and ignore what they don't understand, so a newer
+  peer adding fields (exactly how ``traceparent`` arrived) never breaks
+  an older one.
 * BYE — empty body; either side signals teardown.
 
 :func:`decode` raises :class:`WireError` on *any* malformed input —
@@ -41,10 +46,16 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Optional, Union
+
+from repro.obs.tracing import parse_traceparent
 
 MAGIC = 0xA7
 WIRE_VERSION = 1
+
+#: JSON params key carrying the client's trace context (optional; peers
+#: that predate it simply ignore the key).
+TRACEPARENT_KEY = "traceparent"
 
 TYPE_DATA = 1
 TYPE_ACK = 2
@@ -95,12 +106,24 @@ class HelloSegment:
     path_id: int
     params: dict
 
+    @property
+    def traceparent(self) -> Optional[str]:
+        """The validated trace context, or None (absent or malformed)."""
+        value = self.params.get(TRACEPARENT_KEY)
+        return value if parse_traceparent(value) is not None else None
+
 
 @dataclass(frozen=True)
 class HelloAckSegment:
     conn_id: int
     path_id: int
     params: dict
+
+    @property
+    def traceparent(self) -> Optional[str]:
+        """The validated trace context, or None (absent or malformed)."""
+        value = self.params.get(TRACEPARENT_KEY)
+        return value if parse_traceparent(value) is not None else None
 
 
 @dataclass(frozen=True)
@@ -147,11 +170,17 @@ def _encode_json(seg_type: int, conn_id: int, path_id: int, params: dict) -> byt
     return _header(seg_type, 0, conn_id, path_id) + _JSON_LEN.pack(len(blob)) + blob
 
 
-def encode_hello(conn_id: int, path_id: int, params: dict) -> bytes:
+def encode_hello(conn_id: int, path_id: int, params: dict, *,
+                 traceparent: Optional[str] = None) -> bytes:
+    if traceparent is not None:
+        params = {**params, TRACEPARENT_KEY: traceparent}
     return _encode_json(TYPE_HELLO, conn_id, path_id, params)
 
 
-def encode_hello_ack(conn_id: int, path_id: int, params: dict) -> bytes:
+def encode_hello_ack(conn_id: int, path_id: int, params: dict, *,
+                     traceparent: Optional[str] = None) -> bytes:
+    if traceparent is not None:
+        params = {**params, TRACEPARENT_KEY: traceparent}
     return _encode_json(TYPE_HELLO_ACK, conn_id, path_id, params)
 
 

@@ -389,3 +389,72 @@ def test_paper_scale_campaign_spec():
     assert all(r.duration == 1000.0 for r in camp.runs)
     assert all(r.link_delay == paper_scale.PAPER_DC_LINK_DELAY
                for r in camp.runs)
+
+
+# ------------------------------------------------------- distributed tracing
+
+def _driver_traceparent():
+    from repro.obs.tracing import Tracer
+
+    tracer = Tracer()
+    span = tracer.start_span("campaign.driver")
+    return tracer, span
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_trace_parent_ships_shards_back(jobs):
+    from repro.obs.tracing import TRACE_SCHEMA, parse_traceparent
+
+    tracer, span = _driver_traceparent()
+    specs = _specs(n_seeds=1)
+    outcomes = CampaignExecutor(
+        jobs=jobs, trace_parent=span.traceparent).run(specs)
+    assert all(o.ok for o in outcomes)
+    for o in outcomes:
+        shard = o.payload["trace"]
+        assert shard["schema"] == TRACE_SCHEMA
+        assert shard["process_name"].startswith("worker-")
+        root = next(e for e in shard["events"]
+                    if e["name"] == "campaign.run")
+        # Every worker's root span joins the driver's trace and parents
+        # under the driver span that crossed the pool boundary.
+        assert root["trace_id"] == tracer.trace_id
+        assert root["parent_span_id"] == span.span_id
+        assert root["args"]["spec_hash"] == o.spec.content_hash()
+
+
+def test_no_trace_parent_means_no_shard():
+    outcomes = CampaignExecutor(jobs=1).run(_specs(n_seeds=1))
+    assert all(o.ok for o in outcomes)
+    assert all("trace" not in o.payload for o in outcomes)
+
+
+def test_trace_shard_is_stripped_from_cache(tmp_path):
+    _, span = _driver_traceparent()
+    cache = ResultCache(tmp_path / "cache")
+    spec = _specs(n_seeds=1)[0]
+    [first] = CampaignExecutor(
+        jobs=1, cache=cache, trace_parent=span.traceparent).run([spec])
+    assert "trace" in first.payload
+    # The persisted entry must stay content-addressed: no volatile shard.
+    assert "trace" not in cache.get(spec)
+    [replay] = CampaignExecutor(
+        jobs=1, cache=cache, trace_parent=span.traceparent).run([spec])
+    assert replay.cached
+    assert "trace" not in replay.payload
+    # Cached-or-not, the metrics agree byte for byte.
+    assert json.dumps(replay.metrics, sort_keys=True) == \
+        json.dumps(first.metrics, sort_keys=True)
+
+
+def test_telemetry_logs_trace_id_and_event_counts(tmp_path):
+    tracer, span = _driver_traceparent()
+    log = tmp_path / "telemetry.jsonl"
+    tel = CampaignTelemetry(log_path=log)
+    CampaignExecutor(jobs=1, telemetry=tel,
+                     trace_parent=span.traceparent).run(_specs(n_seeds=1))
+    records = [json.loads(line) for line in log.read_text().splitlines()]
+    started = next(r for r in records if r["event"] == "campaign_started")
+    assert started["trace_id"] == tracer.trace_id
+    completed = [r for r in records if r["event"] == "run_completed"]
+    assert completed and all(r["trace_events"] >= 1 for r in completed)

@@ -112,3 +112,44 @@ def test_special_float_values_render_and_parse():
     text = render_registry(reg)
     assert validate_exposition(text) == []
     assert parse_exposition(text)["g"] == [({}, float("inf"))]
+
+
+# ------------------------------------------------------- updated_unix stamps
+
+def test_set_gauges_get_updated_unix_companion():
+    reg = MetricsRegistry()
+    reg.gauge("path0.cwnd").set(12.0)
+    reg.counter("engine.events").inc(5)
+    reg.gauge("never.set")  # registered but never written
+    text = render_registry(reg)
+    assert validate_exposition(text) == []
+    samples = parse_exposition(text)
+    [(labels, value)] = samples["path0_cwnd_updated_unix"]
+    assert labels == {} and value > 1e9  # a real wall-clock stamp
+    assert "never_set_updated_unix" not in samples
+    assert "engine_events_total_updated_unix" not in samples
+
+
+def test_companion_follows_latest_set(monkeypatch):
+    from repro.obs.metrics import Gauge
+
+    clock = iter([100.0, 250.0])
+    monkeypatch.setattr(Gauge, "_clock", staticmethod(lambda: next(clock)))
+    reg = MetricsRegistry()
+    g = reg.gauge("g")
+    g.set(1.0)
+    g.set(2.0)
+    samples = parse_exposition(render_registry(reg))
+    assert samples["g_updated_unix"] == [({}, 250.0)]
+    assert samples["g"] == [({}, 2.0)]
+
+
+def test_render_snapshot_updated_map_is_opt_in():
+    snap = {"g": 1.0}
+    assert "g_updated_unix" not in render_snapshot(snap, {"g": "gauge"})
+    text = render_snapshot(snap, {"g": "gauge"}, {"g": 123.5})
+    samples = parse_exposition(text)
+    assert samples["g_updated_unix"] == [({}, 123.5)]
+    # Non-gauge instruments never get a companion even if mapped.
+    text = render_snapshot({"c": 1.0}, {"c": "counter"}, {"c": 123.5})
+    assert "updated_unix" not in text

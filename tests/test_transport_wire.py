@@ -165,3 +165,65 @@ def test_length_field_mismatch_rejected():
     # Header claims 6 payload bytes; strip two so the buffer disagrees.
     with pytest.raises(WireError):
         decode(bytes(datagram[:-2]))
+
+
+# --------------------------------------------------- forward compatibility
+
+def test_hello_with_unknown_extra_keys_round_trips():
+    # The JSON body is the versioning seam: a newer peer may add keys
+    # (exactly how traceparent arrived) and an older decoder must keep
+    # them intact rather than choke or strip them.
+    params = {"controller": "dts", "future_knob": 17,
+              "nested": "opaque-to-us", "x-vendor": True}
+    seg = decode(encode_hello(3, 1, params))
+    assert isinstance(seg, HelloSegment)
+    assert seg.params == params
+    assert seg.traceparent is None  # unknown keys are not trace context
+    ackseg = decode(encode_hello_ack(3, 1, params))
+    assert isinstance(ackseg, HelloAckSegment)
+    assert ackseg.params == params
+
+
+def test_hello_traceparent_round_trips_and_validates():
+    tp = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+    seg = decode(encode_hello(1, 0, {"controller": "lia"}, traceparent=tp))
+    assert seg.traceparent == tp
+    assert seg.params["controller"] == "lia"
+    ackseg = decode(encode_hello_ack(1, 0, {}, traceparent=tp))
+    assert ackseg.traceparent == tp
+
+
+def test_hello_without_traceparent_key_has_none():
+    seg = decode(encode_hello(1, 0, {"controller": "dts"}))
+    assert wire.TRACEPARENT_KEY not in seg.params
+    assert seg.traceparent is None
+
+
+@given(params=st.dictionaries(
+           st.text(min_size=1, max_size=10),
+           st.one_of(st.integers(-10**9, 10**9), st.text(max_size=20),
+                     st.booleans()),
+           max_size=6),
+       tp=st.one_of(
+           st.none(),
+           st.text(max_size=64),
+           st.integers(),
+           st.booleans(),
+           st.from_regex(r"[0-9a-f]{2}-[0-9a-f]{32}-[0-9a-f]{16}-[0-9a-f]{2}",
+                         fullmatch=True)))
+@settings(max_examples=300)
+def test_traceparent_field_fuzz(params, tp):
+    # Whatever lands in the traceparent key — absent, junk, wrong type,
+    # or well-formed — decode never raises and .traceparent is either
+    # None or a string parse_traceparent accepts.
+    from repro.obs.tracing import parse_traceparent
+
+    wire_params = dict(params)
+    if tp is not None:
+        wire_params[wire.TRACEPARENT_KEY] = tp
+    seg = decode(encode_hello(1, 0, wire_params))
+    assert isinstance(seg, HelloSegment)
+    got = seg.traceparent
+    if got is not None:
+        assert parse_traceparent(got) is not None
+        assert got == tp
