@@ -18,11 +18,11 @@ from repro.algorithms.balia import BaliaController
 from repro.algorithms.base import MIN_CWND, CongestionController
 from repro.algorithms.coupled import CoupledController
 from repro.algorithms.dctcp import DctcpController
-from repro.algorithms.dts import DtsController, ExtendedDtsController
+from repro.algorithms.dts import DtsController, ExtendedDtsController, dts_increase_array
 from repro.algorithms.dwc import DwcController
 from repro.algorithms.ecmtcp import EcmtcpController
 from repro.algorithms.ewtcp import EwtcpController
-from repro.algorithms.lia import LiaController
+from repro.algorithms.lia import LiaController, lia_increase_array
 from repro.algorithms.olia import OliaController
 from repro.algorithms.reno import RenoController
 from repro.algorithms.wvegas import WvegasController
@@ -56,6 +56,18 @@ _ALIASES = {
 def algorithm_names() -> List[str]:
     """Canonical registry names, sorted."""
     return sorted(_REGISTRY)
+
+
+def resolve_algorithm(name: str) -> str:
+    """Map a (case-insensitive, possibly aliased) name to its canonical
+    registry key, raising :class:`AlgorithmError` for unknown names."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; known: {', '.join(algorithm_names())}"
+        )
+    return key
 
 
 def create_controller(name: str, **kwargs) -> CongestionController:
@@ -92,4 +104,7 @@ __all__ = [
     "WvegasController",
     "algorithm_names",
     "create_controller",
+    "dts_increase_array",
+    "lia_increase_array",
+    "resolve_algorithm",
 ]

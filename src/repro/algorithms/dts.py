@@ -30,11 +30,31 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, ClassVar
 
+import numpy as np
+
 from repro.algorithms.base import MIN_CWND, CongestionController
 from repro.core.dts import DtsFactorConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.flow import TcpSender
+
+
+def dts_increase_array(
+    cwnd: np.ndarray,
+    rtt: np.ndarray,
+    psi: np.ndarray,
+    total_rate: np.ndarray,
+) -> np.ndarray:
+    """Vectorized form of :meth:`DtsController.on_ack` for one ACK.
+
+    Evaluates ``w + psi * (w/RTT^2) / (sum_k x_k)^2`` elementwise with
+    the same operation order as the scalar rule, so a lane of this
+    kernel is bit-identical to one ``on_ack`` call.  ``psi = c * eps``
+    is precomputed by the caller (it is constant across the ACKs of one
+    delivery round, since Eq. 5 depends only on the round's RTT sample).
+    """
+    coupled = (cwnd / (rtt * rtt)) / (total_rate * total_rate)
+    return cwnd + psi * coupled
 
 
 class DtsController(CongestionController):

@@ -13,6 +13,7 @@ cannot masquerade as a speedup.
 
 from __future__ import annotations
 
+import gc
 import json
 
 import numpy as np
@@ -258,6 +259,53 @@ def _engine_fluid_largescale(ctx: BenchContext):
                                     fluid_step_kernel_setup()))
 def _engine_fluid_step_kernel(ctx: BenchContext):
     assert fluid_step_kernel_steps(ctx.fluid_sim) == 200
+
+
+def packet_megascale(n_hosts: int = 1000, duration: float = 0.1):
+    """1000-host EC2-style run (Fig. 10 shape) on the batched
+    struct-of-arrays engine AND the scalar oracle: asserts byte-identical
+    result payloads, returns (batch_s, oracle_s, batch_counters).
+
+    The queue is sized above the receive window so drop-tail overflow is
+    not the steady state; lossy rounds (the scalar-fallback path) come
+    from the iid segment loss alone.
+    """
+    import time as _time
+
+    from repro.net.batch import BatchEngine, OracleEngine, ec2_scenario
+
+    scenario = ec2_scenario(n_hosts=n_hosts, n_subflows=2, algorithm="dts",
+                            duration=duration, queue_segments=64, seed=3)
+    t0 = _time.perf_counter()
+    batch = BatchEngine(scenario).run()
+    batch_s = _time.perf_counter() - t0
+    t0 = _time.perf_counter()
+    oracle = OracleEngine(scenario).run()
+    oracle_s = _time.perf_counter() - t0
+    a = json.dumps(batch.result(), sort_keys=True)
+    b = json.dumps(oracle.result(), sort_keys=True)
+    assert a == b, "batch result diverged from the scalar oracle"
+    counters = dict(batch.counters)
+    # This is by far the biggest allocator in the suite (thousands of
+    # ports + megabyte arrays); drop and collect so the ratio-gated obs
+    # cases later in the tier-1 run measure on a quiet heap.
+    del batch, oracle, a, b
+    gc.collect()
+    return batch_s, oracle_s, counters
+
+
+@register("engine.packet_megascale", suites=("tier1", "engine"),
+          description="1000-host EC2 batch engine vs scalar oracle "
+                      "(equivalence + >=5x speedup gate)")
+def _engine_packet_megascale(ctx: BenchContext):
+    batch_s, oracle_s, counters = packet_megascale()
+    assert counters["rounds"] > 10_000
+    assert counters["vector_rounds"] > counters["fallback_rounds"]
+    # Local headroom is ~15x; 5x keeps the gate robust on noisy CI
+    # machine classes while still catching a de-vectorized engine.
+    assert oracle_s >= 5.0 * batch_s, (
+        f"batch engine only {oracle_s / batch_s:.1f}x faster than the "
+        f"scalar oracle (batch {batch_s:.2f}s, oracle {oracle_s:.2f}s)")
 
 
 # ----------------------------------------------------------------- transport

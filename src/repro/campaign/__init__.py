@@ -27,6 +27,7 @@ from repro.campaign.spec import (
     CampaignSpec,
     RunSpec,
     build_topology,
+    ec2_sweep_campaign,
     figure_campaign,
     subflow_sweep_campaign,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "RunOutcome",
     "RunSpec",
     "build_topology",
+    "ec2_sweep_campaign",
     "engine_throughput",
     "throughput_from_snapshot",
     "execute_run",

@@ -32,16 +32,26 @@ from repro.units import ms
 #: previously overcounted energy), so cached energies may differ.
 SCHEMA_VERSION = 3
 
-#: Topologies a RunSpec can name (the paper's datacenter fabrics).
-KNOWN_TOPOLOGIES = ("bcube", "fattree", "vl2")
+#: Topologies a RunSpec can name: the paper's datacenter fabrics (fluid
+#: engine) plus the EC2-style independent-ENI scenario (packet engines).
+KNOWN_TOPOLOGIES = ("bcube", "fattree", "vl2", "ec2")
+
+#: Topologies each engine accepts.
+ENGINE_TOPOLOGIES = {
+    "fluid": ("bcube", "fattree", "vl2"),
+    "packet-batch": ("ec2",),
+    "packet-oracle": ("ec2",),
+}
 
 #: Workloads a RunSpec can name.
 KNOWN_WORKLOADS = ("permutation",)
 
-#: Engines a RunSpec can name.  Only the fluid engine runs full
-#: datacenter sweeps today; the field exists so packet-level campaign
-#: points can be added without a schema change.
-KNOWN_ENGINES = ("fluid",)
+#: Engines a RunSpec can name.  ``fluid`` runs the datacenter sweeps;
+#: ``packet-batch`` is the vectorized struct-of-arrays packet engine and
+#: ``packet-oracle`` its bit-exact scalar ground truth (both over the
+#: EC2 scenario of :mod:`repro.net.batch`).  The engine name is part of
+#: the content hash, so new engines never collide with cached fluid runs.
+KNOWN_ENGINES = ("fluid", "packet-batch", "packet-oracle")
 
 
 def build_topology(name: str, link_delay: float = ms(1)):
@@ -88,6 +98,11 @@ class RunSpec:
             raise ConfigurationError(
                 f"unknown topology {self.topology!r} "
                 f"(known: {', '.join(KNOWN_TOPOLOGIES)})")
+        allowed = ENGINE_TOPOLOGIES[self.engine]
+        if self.topology not in allowed:
+            raise ConfigurationError(
+                f"engine {self.engine!r} cannot run topology {self.topology!r} "
+                f"(accepted: {', '.join(allowed)})")
         if self.workload not in KNOWN_WORKLOADS:
             raise ConfigurationError(
                 f"unknown workload {self.workload!r} "
@@ -177,6 +192,36 @@ def subflow_sweep_campaign(
         for seed in seeds
     ]
     return CampaignSpec(name=name or f"sweep-{'-'.join(topologies)}", runs=runs)
+
+
+def ec2_sweep_campaign(
+    *,
+    subflow_counts: Sequence[int] = (1, 2, 4, 8),
+    seeds: Sequence[int] = (1, 2),
+    algorithm: str = "dts",
+    n_hosts: int = 40,
+    loss_rate: float = 1e-3,
+    duration: float = 1.0,
+    tick: float = 2e-3,
+    engine: str = "packet-batch",
+    name: Optional[str] = None,
+) -> CampaignSpec:
+    """The Fig. 10 shape on the packet engine: EC2-style hosts behind
+    private ENI bottlenecks, swept over subflow counts and seeds.
+
+    ``engine="packet-oracle"`` runs the same points on the scalar oracle
+    — byte-identical metrics, array-width slower — which is what the CI
+    equivalence smoke compares against.
+    """
+    runs = [
+        RunSpec(algorithm=algorithm, topology="ec2", workload="permutation",
+                n_subflows=nsub, seed=seed, duration=duration, dt=tick,
+                engine=engine,
+                params={"n_hosts": n_hosts, "loss_rate": loss_rate})
+        for nsub in subflow_counts
+        for seed in seeds
+    ]
+    return CampaignSpec(name=name or f"ec2-{engine}", runs=runs)
 
 
 #: Figure id -> topology for the campaignable (fluid-sweep) figures.

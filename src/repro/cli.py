@@ -85,6 +85,25 @@ def _print_sweep(result) -> None:
     ))
 
 
+def _print_packet_sweep(group_name, counts, seeds, group) -> None:
+    """Seed-averaged goodput table for packet-engine (EC2) sweeps."""
+    from repro.analysis.report import format_table
+
+    n = len(seeds)
+    print(f"topology: {group_name} (engine: {group[0].spec.engine})")
+    rows = []
+    for block, nsub in enumerate(counts):
+        metrics = [group[block * n + k].metrics for k in range(n)]
+        rows.append([
+            nsub,
+            sum(m["aggregate_goodput_bps"] for m in metrics) / n / 1e6,
+            sum(m["total_loss_events"] for m in metrics) / n,
+            sum(m["total_retransmitted"] for m in metrics) / n,
+        ])
+    print(format_table(
+        ["subflows", "goodput (Mbps)", "loss events", "retransmits"], rows))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,6 +214,18 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="congestion-control algorithm (default: lia)")
     parser.add_argument("--link-delay-ms", type=float, default=1.0,
                         help="per-link one-way delay in ms (default: 1)")
+    parser.add_argument("--engine", default="fluid",
+                        choices=("fluid", "packet-batch", "packet-oracle"),
+                        help="simulation engine (default: fluid). The packet "
+                             "engines run the EC2/Fig.10 scenario instead of "
+                             "the named topologies: 'packet-batch' is the "
+                             "vectorized struct-of-arrays engine, "
+                             "'packet-oracle' its bit-exact scalar reference")
+    parser.add_argument("--hosts", type=_positive_int, default=40, metavar="N",
+                        help="EC2 hosts per packet-engine run (default: 40)")
+    parser.add_argument("--loss-rate", type=float, default=1e-3, metavar="P",
+                        help="per-segment loss on each ENI path "
+                             "(packet engines only; default: 1e-3)")
     _add_campaign_options(parser)
     return parser
 
@@ -267,7 +298,11 @@ def _run_campaign_specs(campaign, executor, telemetry, log_path,
             print(f"[{group_name}] {sum(not o.ok for o in group)} runs failed",
                   file=sys.stderr)
             continue
-        _print_sweep(sweep_result_from_outcomes(group_name, counts, seeds, group))
+        if group[0].spec.engine.startswith("packet-"):
+            _print_packet_sweep(group_name, counts, seeds, group)
+        else:
+            _print_sweep(sweep_result_from_outcomes(group_name, counts, seeds,
+                                                    group))
         print()
 
     summary = telemetry.summary()
@@ -338,22 +373,35 @@ def _campaign_main(argv: List[str]) -> int:
 
 def _sweep_main(argv: List[str]) -> int:
     args = build_sweep_parser().parse_args(argv)
-    from repro.campaign import subflow_sweep_campaign
+    from repro.campaign import ec2_sweep_campaign, subflow_sweep_campaign
     from repro.errors import ConfigurationError
     from repro.units import ms
 
-    kwargs = {"algorithm": args.algorithm,
-              "link_delay": ms(args.link_delay_ms)}
-    if args.subflows is not None:
-        kwargs["subflow_counts"] = args.subflows
-    if args.seeds is not None:
-        kwargs["seeds"] = args.seeds
-    if args.duration is not None:
-        kwargs["duration"] = args.duration
-    if args.dt is not None:
-        kwargs["dt"] = args.dt
     try:
-        campaign = subflow_sweep_campaign(args.topologies, **kwargs)
+        if args.engine != "fluid":
+            kwargs = {"algorithm": args.algorithm, "engine": args.engine,
+                      "n_hosts": args.hosts, "loss_rate": args.loss_rate}
+            if args.subflows is not None:
+                kwargs["subflow_counts"] = args.subflows
+            if args.seeds is not None:
+                kwargs["seeds"] = args.seeds
+            if args.duration is not None:
+                kwargs["duration"] = args.duration
+            if args.dt is not None:
+                kwargs["tick"] = args.dt
+            campaign = ec2_sweep_campaign(**kwargs)
+        else:
+            kwargs = {"algorithm": args.algorithm,
+                      "link_delay": ms(args.link_delay_ms)}
+            if args.subflows is not None:
+                kwargs["subflow_counts"] = args.subflows
+            if args.seeds is not None:
+                kwargs["seeds"] = args.seeds
+            if args.duration is not None:
+                kwargs["duration"] = args.duration
+            if args.dt is not None:
+                kwargs["dt"] = args.dt
+            campaign = subflow_sweep_campaign(args.topologies, **kwargs)
     except (ConfigurationError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2

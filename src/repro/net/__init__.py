@@ -10,7 +10,15 @@ subflows through a pluggable :class:`~repro.algorithms.base.CongestionController
 The public entry point is :class:`~repro.net.network.Network`.
 """
 
-from repro.net.events import EventHandle, Simulator
+from repro.net.batch import (
+    BatchConnection,
+    BatchEngine,
+    BatchPath,
+    BatchScenario,
+    OracleEngine,
+    ec2_scenario,
+)
+from repro.net.events import EventHandle, Simulator, TickCohorts
 from repro.net.link import Link
 from repro.net.monitor import FlowMonitor, LinkMonitor, PeriodicSampler
 from repro.net.mptcp import MptcpConnection
@@ -30,8 +38,15 @@ from repro.net.trace import FlowTracer, TraceEvent
 from repro.net.flow import TcpReceiver, TcpSender
 
 __all__ = [
+    "BatchConnection",
+    "BatchEngine",
+    "BatchPath",
+    "BatchScenario",
     "BatchedRandom",
     "DropTailQueue",
+    "OracleEngine",
+    "TickCohorts",
+    "ec2_scenario",
     "EcnConfig",
     "EventHandle",
     "FlowMonitor",

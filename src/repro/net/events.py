@@ -265,3 +265,53 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still queued (including cancelled stubs)."""
         return len(self._heap)
+
+
+class TickCohorts:
+    """Deadline cohorts on a quantized tick grid.
+
+    The batched packet engine (:mod:`repro.net.batch`) schedules delivery
+    rounds on integer ticks rather than a continuous clock: every
+    deadline is rounded *up* to the scenario's tick quantum, so rounds
+    that land on the same tick form a cohort that one masked numpy pass
+    can advance together.  This class is that scheduler: a min-heap of
+    distinct ticks plus per-tick key lists.  Keys pop sorted, which is
+    what the engine's RNG-draw-order contract requires.
+
+    Kept here, beside :class:`Simulator`'s event heap, because it is the
+    batch counterpart of the DES scheduling layer — same contract
+    (monotone deadlines, stable intra-deadline order), different
+    granularity.
+    """
+
+    __slots__ = ("_ticks", "_cohorts")
+
+    def __init__(self) -> None:
+        self._ticks: list = []
+        self._cohorts: dict = {}
+
+    def push(self, tick: int, key) -> None:
+        """Schedule ``key`` for ``tick`` (an int on the quantized grid)."""
+        bucket = self._cohorts.get(tick)
+        if bucket is None:
+            self._cohorts[tick] = [key]
+            heapq.heappush(self._ticks, tick)
+        else:
+            bucket.append(key)
+
+    def peek_tick(self) -> Optional[int]:
+        """Earliest scheduled tick, or ``None`` when empty."""
+        return self._ticks[0] if self._ticks else None
+
+    def pop_cohort(self):
+        """Remove and return ``(tick, sorted keys)`` for the earliest tick."""
+        tick = heapq.heappop(self._ticks)
+        keys = self._cohorts.pop(tick)
+        keys.sort()
+        return tick, keys
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._cohorts.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._ticks)

@@ -25,6 +25,7 @@ from repro.units import DEFAULT_MSS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.algorithms.base import CongestionController
+    from repro.net.batch.scenario import BatchConnection
     from repro.net.events import Simulator
 
 _flow_ids = itertools.count(1)
@@ -204,6 +205,47 @@ class MptcpConnection:
         """Start all subflows at absolute time ``at``."""
         for sf in self.subflows:
             sf.start(at)
+
+    def batch_spec(self) -> "BatchConnection":
+        """Project this connection onto the batch engine's abstract model.
+
+        Each subflow route collapses to a :class:`~repro.net.batch.scenario.BatchPath`:
+        two-way propagation becomes ``base_rtt``, the forward bottleneck
+        becomes ``rate_bps``, the route-wide survival product of per-link
+        loss becomes ``loss_rate``, and the bottleneck link's queue limit
+        becomes ``queue_segments``.  What cannot be projected — cross-flow
+        queueing at shared links — is exactly what the batch engine's
+        independent-path model abstracts away.
+        """
+        from repro.net.batch.scenario import BatchConnection, BatchPath
+
+        paths = []
+        for sf in self.subflows:
+            route = sf.route
+            rate = route.min_rate()
+            survive = 1.0
+            for link in (*route.forward, *route.reverse):
+                survive *= 1.0 - link.loss_rate
+            bottleneck = min(route.forward, key=lambda l: l.rate_bps)
+            queue_limit = getattr(bottleneck.queue, "limit", 100)
+            paths.append(
+                BatchPath(
+                    base_rtt=route.base_rtt(),
+                    rate_bps=rate,
+                    loss_rate=min(1.0, 1.0 - survive),
+                    queue_segments=queue_limit,
+                    switch_hops=route.switch_hops(),
+                )
+            )
+        total = self.supply.total
+        return BatchConnection(
+            paths=tuple(paths),
+            algorithm=self.controller.name,
+            total_segments=total,
+            initial_cwnd=max(1.0, self.subflows[0].initial_cwnd),
+            rwnd_segments=float(max(1, self.subflows[0].rwnd)),
+            packet_bytes=self.subflows[0].packet_bytes,
+        )
 
     def aggregate_goodput_bps(self, elapsed: Optional[float] = None) -> float:
         """Aggregate goodput in bits/second over the transfer (or ``elapsed``)."""

@@ -324,6 +324,16 @@ def take_rtt_sample(s, now: float, echo_time: float) -> None:
     sample = now - echo_time
     if sample <= 0:
         return
+    absorb_rtt_sample(s, sample)
+
+
+def absorb_rtt_sample(s, sample: float) -> None:
+    """RFC 6298 estimator update from an already-computed RTT sample.
+
+    Split out of :func:`take_rtt_sample` so hosts that *derive* the
+    sample rather than echo timestamps (the batched round engine in
+    :mod:`repro.net.batch`) share the exact estimator arithmetic.
+    """
     s.latest_rtt = sample
     if sample < s.base_rtt:
         s.base_rtt = sample
