@@ -12,7 +12,9 @@ Direct invocation emits machine-readable results::
 """
 
 from repro.bench.cases import (
+    fluid_equilibrium_solve_vs_step,
     fluid_fattree_step_batch,
+    fluid_k24_sharded,
     fluid_largescale_network,
     fluid_largescale_step_batch,
     fluid_step_kernel_setup,
@@ -54,6 +56,19 @@ def test_fluid_step_kernel(benchmark):
         rounds=5,
     )
     assert calls == 200
+
+
+def test_fluid_equilibrium_speedup(benchmark):
+    solve_s, step_s, rel = benchmark.pedantic(
+        fluid_equilibrium_solve_vs_step, rounds=1)
+    assert rel < 0.10
+    assert step_s >= 20.0 * solve_s
+
+
+def test_fluid_k24_sharded_equivalence(benchmark):
+    serial_s, pooled_s, merged = benchmark.pedantic(
+        fluid_k24_sharded, rounds=1)
+    assert merged.n_subflows >= 30_000
 
 
 def main(argv=None) -> int:

@@ -32,7 +32,7 @@ def evaluate():
         settle = responsiveness(model, **kwargs)
         eq = solve_equilibrium(model, np.array([0.05, 0.05]),
                                np.array([0.01, 0.01]))
-        friendly = check_condition1(model, eq).satisfied
+        friendly = check_condition1(model, eq.state).satisfied
         results[name] = (settle, friendly)
     dts = CongestionModel("dts", make_psi_dts())
     results["dts"] = (responsiveness(dts, **kwargs), True)

@@ -50,7 +50,7 @@ def condition1_verdict(name: str) -> str:
     model = table[name]
     state = solve_equilibrium(
         model, rtt=np.array([0.022, 0.022]), loss=np.array([0.005, 0.005])
-    )
+    ).state
     report = check_condition1(model, state)
     return "friendly" if report.satisfied else f"psi_h={report.psi_on_best_path:.2f}"
 

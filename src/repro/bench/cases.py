@@ -27,7 +27,9 @@ __all__ = [
     "campaign_cold_sweep",
     "campaign_specs",
     "counter_inc_cost",
+    "fluid_equilibrium_solve_vs_step",
     "fluid_fattree_step_batch",
+    "fluid_k24_sharded",
     "fluid_largescale_network",
     "fluid_largescale_step_batch",
     "fluid_step_kernel_setup",
@@ -259,6 +261,96 @@ def _engine_fluid_largescale(ctx: BenchContext):
                                     fluid_step_kernel_setup()))
 def _engine_fluid_step_kernel(ctx: BenchContext):
     assert fluid_step_kernel_steps(ctx.fluid_sim) == 200
+
+
+def fluid_equilibrium_solve_vs_step(horizon: float = 16.0):
+    """Solve the k=12 fat-tree workload's stationary state directly AND
+    integrate a twin network to it; returns (solve_s, step_s, relative
+    aggregate-goodput disagreement).
+
+    The twin build keeps the comparison honest: the solver must not
+    benefit from state the integration run would have had to compute.
+    """
+    import time as _time
+
+    from repro.fluidsim import FluidSimulation, solve_fluid_equilibrium
+
+    net_solve = fluid_largescale_network()
+    net_step = fluid_largescale_network()
+    t0 = _time.perf_counter()
+    eq = solve_fluid_equilibrium(net_solve)
+    solve_s = _time.perf_counter() - t0
+    assert eq.converged, f"solver stalled at residual {eq.residual:.3g}"
+    sim = FluidSimulation(net_step, dt=0.004, seed=1)
+    t0 = _time.perf_counter()
+    res = sim.run(horizon)
+    step_s = _time.perf_counter() - t0
+    rel = (abs(eq.aggregate_goodput_bps - res.aggregate_goodput_bps)
+           / res.aggregate_goodput_bps)
+    return solve_s, step_s, rel
+
+
+@register("engine.fluid_equilibrium", suites=("tier1", "engine"),
+          description="k=12 fat-tree: direct equilibrium solve vs 16 s "
+                      "time-stepped integration (agreement + >=20x gate)")
+def _engine_fluid_equilibrium(ctx: BenchContext):
+    solve_s, step_s, rel = fluid_equilibrium_solve_vs_step()
+    # The integration mean still carries its startup transient at this
+    # horizon; the measured gap is ~5%, gated at 10%.
+    assert rel < 0.10, (
+        f"solver disagrees with the time-stepped equilibrium by {rel:.1%}")
+    # Local headroom is ~45x; 20x keeps the gate robust on noisy CI
+    # machine classes while still catching a de-optimised solver.
+    assert step_s >= 20.0 * solve_s, (
+        f"direct solve only {step_s / solve_s:.1f}x faster than "
+        f"integration (solve {solve_s * 1e3:.1f}ms, step {step_s:.2f}s)")
+
+
+def fluid_k24_sharded(n_shards: int = 4, jobs: int = 4):
+    """Four fat-tree k=24 replica shards (~41k float32 subflows) run
+    serially and through a process pool; asserts the merged results are
+    identical and returns (serial_s, pooled_s, merged result)."""
+    import dataclasses
+    import time as _time
+
+    from repro.fluidsim.sharding import run_sharded
+
+    kwargs = dict(algorithm="lia", n_subflows=3, duration=0.4, dt=0.004,
+                  seed=1, dtype="float32", path_pool=8)
+    t0 = _time.perf_counter()
+    serial = run_sharded("fattree24", n_shards=n_shards, jobs=1, **kwargs)
+    serial_s = _time.perf_counter() - t0
+    t0 = _time.perf_counter()
+    pooled = run_sharded("fattree24", n_shards=n_shards, jobs=jobs, **kwargs)
+    pooled_s = _time.perf_counter() - t0
+    a, b = dataclasses.asdict(serial), dataclasses.asdict(pooled)
+    a.pop("shard_wall_s"), b.pop("shard_wall_s")
+    assert a == b, "pooled sharded run diverged from the serial one"
+    return serial_s, pooled_s, serial
+
+
+@register("engine.fluid_k24_sharded", suites=("tier1", "engine"),
+          description="4 fat-tree k=24 shards (~41k float32 subflows): "
+                      "serial-vs-pooled equivalence + CPU-scaled speedup gate")
+def _engine_fluid_k24_sharded(ctx: BenchContext):
+    import os
+
+    serial_s, pooled_s, merged = fluid_k24_sharded()
+    assert merged.n_shards == 4
+    assert merged.n_subflows >= 30_000
+    assert merged.aggregate_goodput_bps > 0
+    # The speedup a pool can deliver is bounded by the cores available;
+    # on single-core runners the equivalence assertion above is the
+    # whole gate (fan-out cannot win wall-clock there).
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert serial_s >= 2.0 * pooled_s, (
+            f"sharding only {serial_s / pooled_s:.2f}x faster pooled on "
+            f"{cpus} CPUs (serial {serial_s:.2f}s, pooled {pooled_s:.2f}s)")
+    elif cpus >= 2:
+        assert serial_s >= 1.2 * pooled_s, (
+            f"sharding only {serial_s / pooled_s:.2f}x faster pooled on "
+            f"{cpus} CPUs (serial {serial_s:.2f}s, pooled {pooled_s:.2f}s)")
 
 
 def packet_megascale(n_hosts: int = 1000, duration: float = 0.1):

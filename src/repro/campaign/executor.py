@@ -37,7 +37,7 @@ from repro.campaign.spec import SCHEMA_VERSION, RunSpec, build_topology
 from repro.campaign.telemetry import CampaignTelemetry
 
 
-def execute_run(spec: RunSpec) -> Dict[str, Any]:
+def execute_run(spec: RunSpec, shard_jobs: int = 1) -> Dict[str, Any]:
     """Execute one run described by ``spec``; the pool's worker function.
 
     Must stay a module-level function (pickled by ProcessPoolExecutor)
@@ -47,11 +47,20 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
     compute seconds) and ``obs`` (the run's full metrics-registry
     snapshot, which includes wall-clock counters) sit alongside so
     identical runs stay comparable.
+
+    ``shard_jobs`` is deliberately *not* part of the spec (it changes
+    how a sharded fluid run is scheduled, never what it computes); the
+    CLI threads it in via ``functools.partial`` so cache hashes stay
+    independent of the local core count.
     """
     if spec.engine in ("packet-batch", "packet-oracle"):
         return _execute_packet_run(spec)
+    if spec.engine == "fluid-equilibrium":
+        return _execute_equilibrium_run(spec)
     if spec.engine != "fluid":  # pragma: no cover - guarded by RunSpec
         raise ValueError(f"unsupported engine {spec.engine!r}")
+    if "shards" in spec.params:
+        return _execute_sharded_fluid_run(spec, shard_jobs)
     from repro.fluidsim import FluidNetwork, FluidSimulation
     from repro.workloads.permutation import random_permutation_pairs
 
@@ -141,6 +150,163 @@ def _execute_packet_run(spec: RunSpec) -> Dict[str, Any]:
         "metrics": metrics,
         "wall_s": wall_s,
         "obs": snapshot,
+    }
+
+
+#: ``spec.params`` keys routed to :func:`solve_fluid_equilibrium`.
+_SOLVER_PARAM_KEYS = ("max_iter", "tol", "damping", "price_gain",
+                      "queue_ramp", "initial_price")
+
+
+def _execute_equilibrium_run(spec: RunSpec) -> Dict[str, Any]:
+    """Solve a fluid spec's stationary state directly (no integration).
+
+    Produces the same ``metrics`` keys as a time-stepped fluid run —
+    energies come from the shared :class:`PowerEvaluator` arithmetic
+    held at the equilibrium point for ``spec.duration`` — plus a
+    ``solver`` sub-dict with convergence diagnostics.  Unsupported
+    algorithms (wVegas, DCTCP, extended DTS) and non-converged solves
+    fall back to the time-stepped engine; the ``solver`` entry records
+    why.
+    """
+    from repro.energy.cpu import default_wired_host
+    from repro.energy.switch import SwitchPowerModel
+    from repro.errors import EquilibriumError
+    from repro.fluidsim import (FluidNetwork, FluidSimulation, PowerEvaluator,
+                                solve_fluid_equilibrium)
+    from repro.workloads.permutation import random_permutation_pairs
+
+    t0 = time.perf_counter()
+    registry = obs.MetricsRegistry()
+    topo = build_topology(spec.topology, link_delay=spec.link_delay)
+    net = FluidNetwork(topo, path_seed=spec.seed)
+    pairs = random_permutation_pairs(topo.hosts, np.random.default_rng(spec.seed))
+    params = dict(spec.params)
+    solver_kwargs = {k: params.pop(k) for k in _SOLVER_PARAM_KEYS if k in params}
+    for src, dst in pairs:
+        net.add_connection(src, dst, spec.algorithm, n_subflows=spec.n_subflows)
+    net.finalize()
+
+    fallback_reason = None
+    eq = None
+    try:
+        eq = solve_fluid_equilibrium(net, **solver_kwargs)
+        if not eq.converged:
+            fallback_reason = (f"solver stalled at residual {eq.residual:.3g} "
+                               f"after {eq.iterations} iterations")
+    except EquilibriumError as exc:
+        fallback_reason = str(exc)
+
+    if fallback_reason is not None:
+        sim = FluidSimulation(net, dt=spec.dt, seed=spec.seed,
+                              metrics=registry, **params)
+        result = sim.run(spec.duration)
+        snapshot = registry.snapshot()
+        metrics = {
+            "energy_per_gb": result.energy_per_gb(),
+            "aggregate_goodput_bps": result.aggregate_goodput_bps,
+            "host_energy_j": result.host_energy_j,
+            "switch_energy_j": result.switch_energy_j,
+            "total_energy_j": result.total_energy_j,
+            "delivered_bits": float(np.sum(result.connection_bits)),
+            "loss_events": int(np.sum(result.loss_events)),
+            "mean_rtt_s": float(np.mean(result.mean_rtt)),
+            "mean_utilization": float(np.mean(result.mean_utilization)),
+            "n_connections": len(net.connections),
+            "n_subflows_total": net.n_subflows,
+            "steps_taken": int(snapshot["engine.steps_taken"]),
+            "solver": {"fallback": True, "reason": fallback_reason},
+        }
+    else:
+        power = PowerEvaluator(net, default_wired_host(), SwitchPowerModel())
+        x_bps = eq.x_pkts * net.packet_bits
+        host_p = power.host_power_now(x_bps, eq.rtt)
+        switch_p = power.switch_power_now(eq.link_utilization)
+        host_energy = host_p * spec.duration
+        switch_energy = switch_p * spec.duration
+        delivered_bits = eq.aggregate_goodput_bps * spec.duration
+        # Expected loss-event count under the engine's one-per-RTT
+        # suppression (the renewal-process rate the solver balances).
+        lam = eq.p_path * eq.x_pkts
+        eff_rate = lam / (1.0 + lam * eq.rtt)
+        delivered_gb = delivered_bits / 8e9
+        metrics = {
+            "energy_per_gb": ((host_energy + switch_energy) / delivered_gb
+                              if delivered_gb > 0 else float("inf")),
+            "aggregate_goodput_bps": eq.aggregate_goodput_bps,
+            "host_energy_j": host_energy,
+            "switch_energy_j": switch_energy,
+            "total_energy_j": host_energy + switch_energy,
+            "delivered_bits": delivered_bits,
+            "loss_events": int(np.sum(eff_rate) * spec.duration),
+            "mean_rtt_s": float(np.mean(eq.rtt)),
+            "mean_utilization": float(np.mean(eq.link_utilization)),
+            "n_connections": len(net.connections),
+            "n_subflows_total": net.n_subflows,
+            "steps_taken": 0,
+            "solver": {
+                "fallback": False,
+                "converged": True,
+                "iterations": eq.iterations,
+                "residual": eq.residual,
+            },
+        }
+        snapshot = registry.snapshot()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "spec_hash": spec.content_hash(),
+        "metrics": metrics,
+        "wall_s": time.perf_counter() - t0,
+        "obs": snapshot,
+    }
+
+
+def _execute_sharded_fluid_run(spec: RunSpec, shard_jobs: int) -> Dict[str, Any]:
+    """Step ``spec.params['shards']`` independent fabric replicas and
+    merge them (see :mod:`repro.fluidsim.sharding`).
+
+    Shard fan-out parallelism comes from ``shard_jobs`` (an execution
+    detail, not a spec field); the metrics are byte-identical at any
+    ``shard_jobs`` value.
+    """
+    from repro.errors import ConfigurationError
+    from repro.fluidsim.sharding import run_sharded
+
+    t0 = time.perf_counter()
+    params = dict(spec.params)
+    n_shards = int(params.pop("shards"))
+    kwargs = {k: params.pop(k)
+              for k in ("dtype", "path_pool", "initial_window")
+              if k in params}
+    if params:
+        raise ConfigurationError(
+            f"unsupported params for a sharded fluid run: {sorted(params)}")
+    result = run_sharded(
+        spec.topology, n_shards=n_shards, jobs=shard_jobs,
+        algorithm=spec.algorithm, n_subflows=spec.n_subflows,
+        duration=spec.duration, dt=spec.dt, seed=spec.seed,
+        link_delay=spec.link_delay, **kwargs)
+    metrics = {
+        "energy_per_gb": result.energy_per_gb(),
+        "aggregate_goodput_bps": result.aggregate_goodput_bps,
+        "host_energy_j": result.host_energy_j,
+        "switch_energy_j": result.switch_energy_j,
+        "total_energy_j": result.total_energy_j,
+        "delivered_bits": result.delivered_bits,
+        "loss_events": result.loss_events,
+        "mean_rtt_s": result.mean_rtt_s,
+        "mean_utilization": result.mean_utilization,
+        "n_connections": result.n_connections,
+        "n_subflows_total": result.n_subflows,
+        "steps_taken": result.steps_taken,
+        "n_shards": result.n_shards,
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "spec_hash": spec.content_hash(),
+        "metrics": metrics,
+        "wall_s": time.perf_counter() - t0,
+        "obs": {"shard_wall_s": list(result.shard_wall_s)},
     }
 
 

@@ -33,12 +33,15 @@ from repro.units import ms
 SCHEMA_VERSION = 3
 
 #: Topologies a RunSpec can name: the paper's datacenter fabrics (fluid
-#: engine) plus the EC2-style independent-ENI scenario (packet engines).
-KNOWN_TOPOLOGIES = ("bcube", "fattree", "vl2", "ec2")
+#: engines), the city-scale fat-tree presets, plus the EC2-style
+#: independent-ENI scenario (packet engines).
+KNOWN_TOPOLOGIES = ("bcube", "fattree", "vl2", "fattree24", "fattree32", "ec2")
 
 #: Topologies each engine accepts.
+_FLUID_TOPOLOGIES = ("bcube", "fattree", "vl2", "fattree24", "fattree32")
 ENGINE_TOPOLOGIES = {
-    "fluid": ("bcube", "fattree", "vl2"),
+    "fluid": _FLUID_TOPOLOGIES,
+    "fluid-equilibrium": _FLUID_TOPOLOGIES,
     "packet-batch": ("ec2",),
     "packet-oracle": ("ec2",),
 }
@@ -46,12 +49,16 @@ ENGINE_TOPOLOGIES = {
 #: Workloads a RunSpec can name.
 KNOWN_WORKLOADS = ("permutation",)
 
-#: Engines a RunSpec can name.  ``fluid`` runs the datacenter sweeps;
-#: ``packet-batch`` is the vectorized struct-of-arrays packet engine and
-#: ``packet-oracle`` its bit-exact scalar ground truth (both over the
-#: EC2 scenario of :mod:`repro.net.batch`).  The engine name is part of
-#: the content hash, so new engines never collide with cached fluid runs.
-KNOWN_ENGINES = ("fluid", "packet-batch", "packet-oracle")
+#: Engines a RunSpec can name.  ``fluid`` runs the datacenter sweeps
+#: (``params={"shards": S}`` steps S independent fabric replicas and
+#: merges them); ``fluid-equilibrium`` solves the same networks' fluid
+#: fixed point directly (falling back to time-stepping for algorithms
+#: the solver does not support); ``packet-batch`` is the vectorized
+#: struct-of-arrays packet engine and ``packet-oracle`` its bit-exact
+#: scalar ground truth (both over the EC2 scenario of
+#: :mod:`repro.net.batch`).  The engine name is part of the content
+#: hash, so new engines never collide with cached fluid runs.
+KNOWN_ENGINES = ("fluid", "fluid-equilibrium", "packet-batch", "packet-oracle")
 
 
 def build_topology(name: str, link_delay: float = ms(1)):
@@ -62,12 +69,16 @@ def build_topology(name: str, link_delay: float = ms(1)):
     and a freshly simulated one are guaranteed to describe the same
     network.
     """
-    from repro.topology import BCube, FatTree, Vl2
+    from repro.topology import BCube, FatTree, Vl2, fattree24, fattree32
 
     if name == "bcube":
         return BCube(4, 2, link_delay=link_delay)
     if name == "fattree":
         return FatTree(8, link_delay=link_delay)
+    if name == "fattree24":
+        return fattree24(link_delay=link_delay)
+    if name == "fattree32":
+        return fattree32(link_delay=link_delay)
     if name == "vl2":
         return Vl2(link_delay=link_delay)
     raise ValueError(f"unknown topology {name!r} (known: {', '.join(KNOWN_TOPOLOGIES)})")
@@ -181,12 +192,21 @@ def subflow_sweep_campaign(
     duration: float = 30.0,
     dt: float = 0.004,
     link_delay: float = ms(1),
+    engine: str = "fluid",
+    params: Optional[Dict[str, Any]] = None,
     name: Optional[str] = None,
 ) -> CampaignSpec:
-    """The Figs. 12-14 shape: subflow counts x seeds per topology."""
+    """The Figs. 12-14 shape: subflow counts x seeds per topology.
+
+    ``engine`` selects between time-stepped (``"fluid"``) and direct
+    equilibrium (``"fluid-equilibrium"``) runs; ``params`` passes
+    engine knobs (e.g. ``{"shards": 4, "dtype": "float32"}``) into
+    every run.
+    """
     runs = [
         RunSpec(algorithm=algorithm, topology=topo, n_subflows=nsub, seed=seed,
-                duration=duration, dt=dt, link_delay=link_delay)
+                duration=duration, dt=dt, link_delay=link_delay,
+                engine=engine, params=dict(params) if params else {})
         for topo in topologies
         for nsub in subflow_counts
         for seed in seeds

@@ -29,6 +29,7 @@ Benchmarks + regression gate (docs/BENCHMARKS.md):
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 import time
@@ -215,8 +216,13 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--link-delay-ms", type=float, default=1.0,
                         help="per-link one-way delay in ms (default: 1)")
     parser.add_argument("--engine", default="fluid",
-                        choices=("fluid", "packet-batch", "packet-oracle"),
-                        help="simulation engine (default: fluid). The packet "
+                        choices=("fluid", "fluid-equilibrium", "packet-batch",
+                                 "packet-oracle"),
+                        help="simulation engine (default: fluid). "
+                             "'fluid-equilibrium' solves each network's "
+                             "stationary state directly instead of "
+                             "integrating to it (falls back to time-stepping "
+                             "for wvegas/dctcp/dts-ext). The packet "
                              "engines run the EC2/Fig.10 scenario instead of "
                              "the named topologies: 'packet-batch' is the "
                              "vectorized struct-of-arrays engine, "
@@ -226,12 +232,32 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--loss-rate", type=float, default=1e-3, metavar="P",
                         help="per-segment loss on each ENI path "
                              "(packet engines only; default: 1e-3)")
+    parser.add_argument("--shards", type=_positive_int, default=None,
+                        metavar="S",
+                        help="fluid engine only: step S independent replicas "
+                             "of each topology (merged exactly) instead of "
+                             "one; --jobs then parallelizes the shards of "
+                             "each run rather than the runs")
+    parser.add_argument("--dtype", default=None,
+                        choices=("auto", "float32", "float64"),
+                        help="fluid step-loop precision (default: auto — "
+                             "float32 for very large subflow populations)")
+    parser.add_argument("--path-pool", type=_positive_int, default=None,
+                        metavar="K",
+                        help="ECMP paths sampled per connection on sharded "
+                             "fluid runs (default: 64; lower it to speed up "
+                             "building k=24/k=32 fabrics)")
     _add_campaign_options(parser)
     return parser
 
 
-def _campaign_plumbing(args):
-    """Shared cache/telemetry/executor wiring for campaign and sweep."""
+def _campaign_plumbing(args, run_fn=None, jobs=None):
+    """Shared cache/telemetry/executor wiring for campaign and sweep.
+
+    ``run_fn``/``jobs`` override the executor's worker function and
+    fan-out width — the sharded-fluid path runs specs serially and
+    spends ``--jobs`` inside each run instead.
+    """
     import repro.obs as obs
     from repro.campaign import CampaignExecutor, CampaignTelemetry, ResultCache
 
@@ -247,10 +273,13 @@ def _campaign_plumbing(args):
         tracer = obs.Tracer()
         span = tracer.start_span("campaign.driver", jobs=args.jobs)
         trace = {"tracer": tracer, "span": span, "dir": Path(args.trace_dir)}
+    executor_kwargs = {} if run_fn is None else {"run_fn": run_fn}
     executor = CampaignExecutor(
-        jobs=args.jobs, cache=cache, telemetry=telemetry,
+        jobs=args.jobs if jobs is None else jobs,
+        cache=cache, telemetry=telemetry,
         run_timeout=args.run_timeout,
-        trace_parent=trace["span"].traceparent if trace else None)
+        trace_parent=trace["span"].traceparent if trace else None,
+        **executor_kwargs)
     return cache, telemetry, executor, log_path, trace
 
 
@@ -378,7 +407,7 @@ def _sweep_main(argv: List[str]) -> int:
     from repro.units import ms
 
     try:
-        if args.engine != "fluid":
+        if args.engine.startswith("packet-"):
             kwargs = {"algorithm": args.algorithm, "engine": args.engine,
                       "n_hosts": args.hosts, "loss_rate": args.loss_rate}
             if args.subflows is not None:
@@ -391,8 +420,21 @@ def _sweep_main(argv: List[str]) -> int:
                 kwargs["tick"] = args.dt
             campaign = ec2_sweep_campaign(**kwargs)
         else:
-            kwargs = {"algorithm": args.algorithm,
-                      "link_delay": ms(args.link_delay_ms)}
+            params = {}
+            if args.shards is not None:
+                if args.engine != "fluid":
+                    raise ConfigurationError(
+                        "--shards applies to the time-stepped fluid engine "
+                        f"only, not {args.engine!r}")
+                params["shards"] = args.shards
+                if args.path_pool is not None:
+                    params["path_pool"] = args.path_pool
+                if args.dtype is not None:
+                    params["dtype"] = args.dtype
+            elif args.dtype is not None:
+                params["dtype"] = args.dtype
+            kwargs = {"algorithm": args.algorithm, "engine": args.engine,
+                      "link_delay": ms(args.link_delay_ms), "params": params}
             if args.subflows is not None:
                 kwargs["subflow_counts"] = args.subflows
             if args.seeds is not None:
@@ -407,7 +449,17 @@ def _sweep_main(argv: List[str]) -> int:
         return 2
     _apply_legacy_fluid(campaign, args)
 
-    _, telemetry, executor, log_path, trace = _campaign_plumbing(args)
+    # Sharded fluid runs spend --jobs *inside* each run (one process per
+    # shard) and run the specs themselves serially; shard_jobs rides in
+    # via functools.partial so it never touches spec content hashes.
+    run_fn = jobs = None
+    if args.shards is not None and args.jobs > 1:
+        from repro.campaign.executor import execute_run
+        run_fn = functools.partial(execute_run, shard_jobs=args.jobs)
+        jobs = 1
+
+    _, telemetry, executor, log_path, trace = _campaign_plumbing(
+        args, run_fn=run_fn, jobs=jobs)
     return _run_campaign_specs(campaign, executor, telemetry, log_path, trace)
 
 

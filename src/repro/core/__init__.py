@@ -31,7 +31,11 @@ from repro.core.energy_price import (
     price_gradient,
     utility_ep,
 )
-from repro.core.equilibrium import reno_window, solve_equilibrium
+from repro.core.equilibrium import (
+    EquilibriumSolution,
+    reno_window,
+    solve_equilibrium,
+)
 from repro.core.trajectories import (
     Trajectory,
     constant,
@@ -50,6 +54,7 @@ from repro.core.model import (
 __all__ = [
     "Condition1Report",
     "CongestionModel",
+    "EquilibriumSolution",
     "DtsFactorConfig",
     "EnergyPriceConfig",
     "ModelState",

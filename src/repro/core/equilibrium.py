@@ -9,19 +9,64 @@ whose solution is the algorithm's stationary rate allocation for fixed
 per-path loss probabilities — the quantity Condition 1 reasons about, and
 the bridge the tests use to tie the packet-level controllers, the fluid
 adapters and the analytic model together.
+
+Two solvers live under this name:
+
+- :func:`solve_equilibrium` here — the per-connection model balance for
+  *given* RTTs and loss rates, returning an :class:`EquilibriumSolution`
+  with convergence diagnostics;
+- ``solve_fluid_equilibrium`` (re-exported lazily from
+  :mod:`repro.fluidsim.equilibrium`) — the whole-network fixed point
+  where loss and queueing are themselves solved for, the direct
+  alternative to time-stepping a ``FluidSimulation``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 from scipy import optimize
 
 from repro.core.model import CongestionModel, ModelState
-from repro.errors import ModelError
+from repro.errors import EquilibriumError
 
 _EPS = 1e-9
+
+#: Relative residual below which a solve is declared converged.
+_CONVERGED_RTOL = 1e-4
+#: Relative window movement below which fixed-point iteration stops early.
+_STEP_RTOL = 1e-12
+
+
+@dataclass(frozen=True)
+class EquilibriumSolution:
+    """A solved model equilibrium plus diagnostics of the solve itself."""
+
+    #: The stationary windows/rates as a model state.
+    state: ModelState
+    #: Whether the relative residual ended below tolerance.
+    converged: bool
+    #: Fixed-point iterations actually run (before any root refinement).
+    iterations: int
+    #: Final max |psi/(rtt^2 total^2) - beta p| relative to max |beta p|.
+    residual_norm: float
+
+    @property
+    def w(self) -> np.ndarray:
+        """Equilibrium windows, segments (passthrough to ``state.w``)."""
+        return self.state.w
+
+    @property
+    def x(self) -> np.ndarray:
+        """Equilibrium rates w/rtt (passthrough to ``state.x``)."""
+        return self.state.x
+
+    @property
+    def total_rate(self) -> float:
+        """Connection-aggregate rate (passthrough to ``state.total_rate``)."""
+        return self.state.total_rate
 
 
 def solve_equilibrium(
@@ -32,19 +77,26 @@ def solve_equilibrium(
     base_rtt: Optional[np.ndarray] = None,
     w0: Optional[np.ndarray] = None,
     max_iter: int = 200,
-) -> ModelState:
+) -> EquilibriumSolution:
     """Solve for the stationary windows given fixed RTTs and loss rates.
 
     Uses damped fixed-point iteration on the window form of the balance
     equation (robust for every decomposition in this package), refined by
-    ``scipy.optimize.root`` when it converges poorly.
+    ``scipy.optimize.root`` when it converges poorly.  Returns an
+    :class:`EquilibriumSolution`; raises
+    :class:`~repro.errors.EquilibriumError` on empty or mismatched
+    inputs and non-positive loss rates.
     """
     rtt = np.asarray(rtt, dtype=float)
     loss = np.asarray(loss, dtype=float)
     if rtt.shape != loss.shape:
-        raise ModelError("rtt and loss must have the same shape")
+        raise EquilibriumError("rtt and loss must have the same shape")
+    if rtt.size == 0:
+        raise EquilibriumError("cannot solve an equilibrium for zero paths")
+    if np.any(rtt <= 0):
+        raise EquilibriumError("equilibrium requires positive RTTs")
     if np.any(loss <= 0):
-        raise ModelError("equilibrium requires positive loss rates")
+        raise EquilibriumError("equilibrium requires positive loss rates")
     n = len(rtt)
     w = np.asarray(w0, dtype=float) if w0 is not None else np.full(n, 10.0)
 
@@ -56,8 +108,14 @@ def solve_equilibrium(
         rhs = model.beta(st) * loss
         return lhs - rhs
 
+    def residual_norm_of(w_vec: np.ndarray) -> float:
+        st = ModelState(w=np.maximum(w_vec, 1e-3), rtt=rtt, base_rtt=base_rtt)
+        scale = float(np.max(np.abs(model.beta(st) * loss))) + _EPS
+        return float(np.max(np.abs(residual(w_vec)))) / scale
+
     damping = 0.3
-    for _ in range(max_iter):
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
         st = ModelState(w=np.maximum(w, 1e-3), rtt=rtt, base_rtt=base_rtt)
         total = np.sum(st.x)
         # Balance: psi/(rtt^2 total^2) = beta p  =>  implied total given w,
@@ -67,18 +125,41 @@ def solve_equilibrium(
         target_w = np.sqrt(psi / (beta * loss + _EPS)) / (rtt * total + _EPS) * rtt
         # target_w solves w such that x_r contributes consistently:
         # w_r = sqrt(psi_r/(beta_r p_r)) / total  (in window units w = x*rtt)
-        w = (1 - damping) * w + damping * np.maximum(target_w, 1e-3)
-    res = residual(w)
-    if np.max(np.abs(res)) > 1e-4 * np.max(np.abs(model.beta(
-            ModelState(w=np.maximum(w, 1e-3), rtt=rtt, base_rtt=base_rtt)) * loss)):
+        w_new = (1 - damping) * w + damping * np.maximum(target_w, 1e-3)
+        step = float(np.max(np.abs(w_new - w))) / (float(np.max(w)) + _EPS)
+        w = w_new
+        if step < _STEP_RTOL:
+            break
+    if residual_norm_of(w) > _CONVERGED_RTOL:
         sol = optimize.root(residual, w, method="hybr")
         if sol.success:
             w = np.maximum(sol.x, 1e-3)
-    return ModelState(w=np.maximum(w, 1e-3), rtt=rtt, base_rtt=base_rtt)
+    norm = residual_norm_of(w)
+    return EquilibriumSolution(
+        state=ModelState(w=np.maximum(w, 1e-3), rtt=rtt, base_rtt=base_rtt),
+        converged=norm <= _CONVERGED_RTOL,
+        iterations=iterations,
+        residual_norm=norm,
+    )
 
 
 def reno_window(loss: float) -> float:
     """Classic Reno equilibrium window sqrt(2/p), segments."""
     if loss <= 0:
-        raise ModelError(f"loss must be positive, got {loss}")
+        raise EquilibriumError(f"loss must be positive, got {loss}")
     return float(np.sqrt(2.0 / loss))
+
+
+_FLUID_EXPORTS = ("FluidEquilibrium", "solve_fluid_equilibrium",
+                  "equilibrium_supported")
+
+
+def __getattr__(name: str):
+    # Lazy re-export of the network-level solver.  Importing
+    # repro.fluidsim eagerly here would cycle back into repro.core
+    # through the fluid adapters, so resolve on first attribute access.
+    if name in _FLUID_EXPORTS:
+        from repro.fluidsim import equilibrium as _fluid_eq
+
+        return getattr(_fluid_eq, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

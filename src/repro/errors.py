@@ -31,3 +31,9 @@ class AlgorithmError(ReproError):
 
 class ModelError(ReproError):
     """The analytical congestion-control model was given invalid inputs."""
+
+
+class EquilibriumError(ModelError):
+    """An equilibrium solve was asked for invalid inputs — empty network,
+    non-positive loss rates, or an algorithm whose dynamics have no
+    loss-balance fixed point (wVegas, DCTCP, extended DTS)."""

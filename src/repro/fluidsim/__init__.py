@@ -10,18 +10,51 @@ subflow windows synchronously with vectorized numpy updates: link loads and
 queues from a sparse routing matrix, loss events sampled per subflow (at
 most one per RTT, as fast recovery enforces), and the same per-ACK
 increase rules as the packet-level controllers.
+
+Two scale levers sit alongside the stepping engine:
+
+- :mod:`repro.fluidsim.equilibrium` solves the stationary state of a
+  network *directly* (a damped relaxation on the window-balance and
+  capacity conditions) instead of integrating to it — orders of
+  magnitude faster on large fabrics for the supported algorithms;
+- :mod:`repro.fluidsim.sharding` steps many independently-seeded
+  replicas of a topology across a process pool and merges them exactly,
+  growing subflow populations past what one process holds comfortably.
 """
 
 from repro.fluidsim.adapters import FluidAlgorithm, create_fluid_algorithm, fluid_algorithm_names
-from repro.fluidsim.engine import FluidSimulation, SimulationResult
+from repro.fluidsim.engine import FluidSimulation, PowerEvaluator, SimulationResult
+from repro.fluidsim.equilibrium import (
+    FluidEquilibrium,
+    equilibrium_supported,
+    solve_fluid_equilibrium,
+)
 from repro.fluidsim.network import FluidConnection, FluidNetwork
+from repro.fluidsim.sharding import (
+    ShardedResult,
+    ShardSpec,
+    make_shard_specs,
+    merge_shard_payloads,
+    run_sharded,
+    simulate_shard,
+)
 
 __all__ = [
     "FluidAlgorithm",
     "FluidConnection",
+    "FluidEquilibrium",
     "FluidNetwork",
     "FluidSimulation",
+    "PowerEvaluator",
+    "ShardSpec",
+    "ShardedResult",
     "SimulationResult",
     "create_fluid_algorithm",
+    "equilibrium_supported",
     "fluid_algorithm_names",
+    "make_shard_specs",
+    "merge_shard_payloads",
+    "run_sharded",
+    "simulate_shard",
+    "solve_fluid_equilibrium",
 ]

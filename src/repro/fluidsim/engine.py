@@ -80,6 +80,81 @@ _SPARSE_DENSITY_THRESHOLD = 0.25
 #: Steps of loss uniforms prefetched per RNG block on the fast path.
 _RNG_BLOCK_STEPS = 64
 
+#: Valid values of the ``dtype`` knob.
+_DTYPE_MODES = ("auto", "float32", "float64")
+#: ``dtype="auto"`` switches to float32 at this many subflows — the
+#: point where halving memory traffic beats the (small) extra rounding.
+_FLOAT32_AUTO_THRESHOLD = 65536
+
+
+class PowerEvaluator:
+    """Eq. 2's host and switch power evaluated on a network state.
+
+    Extracted from the engine so the equilibrium executor prices energy
+    on a solved stationary state with exactly the arithmetic (same
+    operation order, bit-identical) the time-stepped loop integrates.
+    """
+
+    def __init__(
+        self,
+        net: FluidNetwork,
+        host_power: HostPowerModel,
+        switch_power: SwitchPowerModel,
+    ):
+        self.net = net
+        self.host_power = host_power
+        self.switch_power = switch_power
+        # Precompute per-host overhead: idle for every host that touches
+        # traffic, plus per-subflow socket overhead at the endpoints only.
+        counts = net.host_subflow_count
+        endpoints = net.host_endpoint_count
+        self.host_static_w = float(
+            np.sum(
+                np.where(
+                    counts > 0,
+                    host_power.idle_w
+                    + host_power.subflow_overhead_w * np.maximum(0, endpoints - 1),
+                    0.0,
+                )
+            )
+        )
+        # Egress-port map as arrays for vectorized switch power.
+        egress = []
+        for s in net.topology.switches:
+            egress.extend(net.switch_egress[s])
+        self.switch_ports = np.array(egress, dtype=np.int64)
+
+        # Path-model parameters for vectorized power (duck-typed from the
+        # configured PathPowerModel; WiredPathPower fields are the default).
+        self.pm = host_power.path_model
+
+    def host_power_now(self, x_bps: np.ndarray, rtt: np.ndarray) -> float:
+        """Total host CPU power: static part + per-path marginal terms."""
+        pm = self.pm
+        tau_mbps = x_bps / 1e6
+        if hasattr(pm, "exponent"):
+            base = pm.k * np.power(np.maximum(tau_mbps, 0.0), pm.exponent)
+        else:
+            base = np.where(
+                tau_mbps > 0, pm.base_w + pm.slope_w_per_mbps * tau_mbps, 0.0
+            )
+        rtt_factor = 1.0 + pm.rtt_coefficient * np.maximum(
+            0.0, rtt / pm.rtt_reference - 1.0
+        )
+        marginal = base * rtt_factor
+        per_host = self.net.host_incidence @ marginal
+        return self.host_static_w + float(np.sum(per_host))
+
+    def switch_power_now(self, util: np.ndarray) -> float:
+        """Total switch power: chassis + utilization-proportional ports."""
+        sp = self.switch_power
+        ports = self.switch_ports
+        if len(ports) == 0:
+            return sp.chassis_w * len(self.net.topology.switches)
+        port_util = util[ports]
+        port_power = sp.port_idle_w + (sp.port_max_w - sp.port_idle_w) * port_util
+        return sp.chassis_w * len(self.net.topology.switches) + float(np.sum(port_power))
+
 
 @dataclass
 class SimulationResult:
@@ -141,38 +216,39 @@ class _FastBuffers:
         "nnz", "fold_idx", "fold_w", "fold_head", "delivered",
     )
 
-    def __init__(self, net: FluidNetwork, nnz: Optional[int]):
+    def __init__(self, net: FluidNetwork, nnz: Optional[int],
+                 dtype: np.dtype = np.dtype(np.float64)):
         n = net.n_subflows
         n_links = net.n_links
         n_conns = len(net.connections)
-        self.y = np.empty(n_links)
-        self.x_pkts = np.empty(n)
-        self.x_bps = np.empty(n)
-        self.qdelay = np.empty(n)
-        self.p_path = np.empty(n)
-        self.marked_path = np.empty(n)
-        self.lam = np.empty(n)
-        self.sub_tmp = np.empty(n)
+        self.y = np.empty(n_links, dtype=dtype)
+        self.x_pkts = np.empty(n, dtype=dtype)
+        self.x_bps = np.empty(n, dtype=dtype)
+        self.qdelay = np.empty(n, dtype=dtype)
+        self.p_path = np.empty(n, dtype=dtype)
+        self.marked_path = np.empty(n, dtype=dtype)
+        self.lam = np.empty(n, dtype=dtype)
+        self.sub_tmp = np.empty(n, dtype=dtype)
         self.can_lose = np.empty(n, dtype=bool)
         self.lt = np.empty(n, dtype=bool)
         self.losing = np.empty(n, dtype=bool)
-        self.overload = np.empty(n_links)
-        self.link_tmp = np.empty(n_links)
-        self.denom = np.empty(n_links)
-        self.ratio = np.empty(n_links)
-        self.p_link = np.empty(n_links)
-        self.marked_link = np.empty(n_links)
-        self.util = np.empty(n_links)
-        self.qc = np.empty(n_links)
+        self.overload = np.empty(n_links, dtype=dtype)
+        self.link_tmp = np.empty(n_links, dtype=dtype)
+        self.denom = np.empty(n_links, dtype=dtype)
+        self.ratio = np.empty(n_links, dtype=dtype)
+        self.p_link = np.empty(n_links, dtype=dtype)
+        self.marked_link = np.empty(n_links, dtype=dtype)
+        self.util = np.empty(n_links, dtype=dtype)
+        self.qc = np.empty(n_links, dtype=dtype)
         self.full = np.empty(n_links, dtype=bool)
         self.lossy = np.empty(n_links, dtype=bool)
         self.mark_bool = np.empty(n_links, dtype=bool)
         #: buffer_bits * 0.999 hoisted out of the loop (the product is
         #: deterministic, so precomputing preserves bit-identity).
-        self.full_threshold = net.buffer_bits * 0.999
+        self.full_threshold = (net.buffer_bits * 0.999).astype(dtype)
         #: Scratch for the gathered-nonzero stage of the routing kernels
         #: (R and R.T share an nnz count).
-        self.nnz = np.empty(nnz) if nnz is not None else None
+        self.nnz = np.empty(nnz, dtype=dtype) if nnz is not None else None
         # Seeded-head bincount fold replacing np.add.at on delivered_bits:
         # the fold input lists each connection's current total first, then
         # every subflow's delivery in storage order, so each bin
@@ -198,6 +274,17 @@ class FluidSimulation:
     ``_SPARSE_DENSITY_THRESHOLD``; ``"always"`` forces them whenever the
     weights are unit (non-unit weights always fall back — the kernels
     would be wrong); ``"never"`` keeps the scipy operators.
+
+    ``dtype`` picks the step-loop precision on the fast path:
+    ``"float64"`` (the reference), ``"float32"`` (half the memory
+    traffic; windows and rates carry ~7 significant digits, which moves
+    per-connection goodput by well under a percent on the fleets it is
+    meant for — see USAGE.md §14 for measured drift bounds), or
+    ``"auto"`` (float32 once the network reaches
+    ``_FLOAT32_AUTO_THRESHOLD`` subflows, float64 below). Delivered
+    bits, RTT/utilization means and energy integrate in float64 in every
+    mode. ``dtype="float32"`` with ``fast_path=False`` is rejected — the
+    legacy loop is the float64 oracle.
     """
 
     def __init__(
@@ -215,6 +302,7 @@ class FluidSimulation:
         tracer=None,
         fast_path: bool = True,
         sparse_routing: str = "auto",
+        dtype: str = "auto",
     ):
         if network.base_rtt is None:
             raise ConfigurationError("finalize() the FluidNetwork before simulating")
@@ -224,6 +312,13 @@ class FluidSimulation:
             raise ConfigurationError(
                 f"sparse_routing must be one of {_SPARSE_MODES}, "
                 f"got {sparse_routing!r}")
+        if dtype not in _DTYPE_MODES:
+            raise ConfigurationError(
+                f"dtype must be one of {_DTYPE_MODES}, got {dtype!r}")
+        if dtype == "float32" and not fast_path:
+            raise ConfigurationError(
+                "dtype='float32' requires the fast path; the legacy loop "
+                "is the float64 reference oracle")
         self.net = network
         self.dt = dt
         self.rng = np.random.default_rng(seed)
@@ -267,9 +362,21 @@ class FluidSimulation:
         self.energy_sample_every = max(1, energy_sample_every)
 
         n = network.n_subflows
-        self.w = np.full(n, float(initial_window))
-        self.rtt = network.base_rtt.copy()
-        self.queue_bits = np.zeros(network.n_links)
+        #: Resolved compute dtype for the step-loop state and work arrays.
+        #: ``"auto"`` stays float64 until the subflow count is large
+        #: enough that float32's halved memory traffic pays for its
+        #: rounding (see USAGE.md for the measured drift bounds).
+        #: Accumulators (delivered bits, RTT/utilization means, energy)
+        #: are float64 in every mode.
+        if dtype == "float32":
+            self.compute_dtype = np.dtype(np.float32)
+        elif dtype == "auto" and self.fast_path and n >= _FLOAT32_AUTO_THRESHOLD:
+            self.compute_dtype = np.dtype(np.float32)
+        else:
+            self.compute_dtype = np.dtype(np.float64)
+        self.w = np.full(n, float(initial_window), dtype=self.compute_dtype)
+        self.rtt = network.base_rtt.astype(self.compute_dtype)
+        self.queue_bits = np.zeros(network.n_links, dtype=self.compute_dtype)
         self.loss_events = np.zeros(n)
         self.recovery_until = np.zeros(n)
         self.delivered_bits = np.zeros(len(network.connections))
@@ -278,30 +385,9 @@ class FluidSimulation:
             if ecn_threshold_packets is not None
             else 0.3 * float(network.buffer_bits[0])
         )
-        # Precompute per-host overhead: idle for every host that touches
-        # traffic, plus per-subflow socket overhead at the endpoints only.
-        counts = network.host_subflow_count
-        endpoints = network.host_endpoint_count
-        self._host_static_w = float(
-            np.sum(
-                np.where(
-                    counts > 0,
-                    self.host_power.idle_w
-                    + self.host_power.subflow_overhead_w * np.maximum(0, endpoints - 1),
-                    0.0,
-                )
-            )
-        )
-        # Egress-port map as arrays for vectorized switch power.
-        egress = []
-        for s in network.topology.switches:
-            egress.extend(network.switch_egress[s])
-        self._switch_ports = np.array(egress, dtype=np.int64)
-
-        # Path-model parameters for vectorized power (duck-typed from the
-        # configured PathPowerModel; WiredPathPower fields are the default).
-        pm = self.host_power.path_model
-        self._pm = pm
+        #: Shared host/switch power arithmetic (also used standalone by
+        #: the equilibrium executor).
+        self.power = PowerEvaluator(network, self.host_power, self.switch_power)
 
     # ------------------------------------------------------------------ run
 
@@ -491,6 +577,7 @@ class FluidSimulation:
         """
         views = []
         net = self.net
+        base_rtt = net.compute_arrays(self.compute_dtype).base_rtt
         base_adj = FluidAlgorithm.rate_adjustment
         for cohort in net.cohorts:
             ids = cohort.ids
@@ -502,7 +589,7 @@ class FluidSimulation:
                 st = CohortState(
                     w=self.w[sl],
                     rtt=self.rtt[sl],
-                    base_rtt=net.base_rtt[sl],
+                    base_rtt=base_rtt[sl],
                     loss=b.p_path[sl],
                     queueing=b.qdelay[sl],
                     switch_hops=net.switch_hops[sl],
@@ -518,7 +605,9 @@ class FluidSimulation:
             # st.w + dw (w >= 1, so the sign of a zero dw cannot show),
             # and skipping the call + add is safe.
             has_adj = type(cohort.algorithm).rate_adjustment is not base_adj
-            views.append((cohort, st, sl, np.empty(len(ids)), has_adj))
+            views.append((cohort, st, sl,
+                          np.empty(len(ids), dtype=self.compute_dtype),
+                          has_adj))
         return views
 
     def _run_fast(self, duration: float) -> SimulationResult:
@@ -528,18 +617,23 @@ class FluidSimulation:
         n_steps = max(1, int(round(duration / self.dt)))
         dt = self.dt
         pkt_bits = net.packet_bits
-        cap = net.capacity
-        buf = net.buffer_bits
+        # All step-loop constants in the resolved compute dtype (the
+        # float64 entries are the canonical arrays themselves).
+        ca = net.compute_arrays(self.compute_dtype)
+        cap = ca.capacity
+        buf = ca.buffer_bits
+        base_rtt = ca.base_rtt
+        inv_cap = ca.inv_capacity
         R = net.routing
         Rt = net.routing_t
-        inv_cap = 1.0 / cap
         n = len(self.w)
         n_links = net.n_links
         n_conns = len(net.connections)
 
         if self._buffers is None:
             self._buffers = _FastBuffers(
-                net, self._plan.nnz if self.kernel == "bincount" else None)
+                net, self._plan.nnz if self.kernel == "bincount" else None,
+                self.compute_dtype)
         b = self._buffers
         plan = self._plan
         views = self._build_cohort_views(b)
@@ -550,8 +644,8 @@ class FluidSimulation:
         # order; dense delegates to the operators themselves).
         kernel = self.kernel
         if kernel == "csr_matvec":
-            Rp, Ri, Rx = R.indptr, R.indices, R.data
-            Tp, Ti, Tx = Rt.indptr, Rt.indices, Rt.data
+            Rp, Ri, Rx = R.indptr, R.indices, ca.routing_data
+            Tp, Ti, Tx = Rt.indptr, Rt.indices, ca.routing_t_data
 
             def mul_R(x, out):
                 out.fill(0.0)
@@ -581,7 +675,9 @@ class FluidSimulation:
         uniforms = UniformBlocks(self.rng, n, n_steps,
                                  rows_per_block=_RNG_BLOCK_STEPS)
 
-        rtt_accum = np.zeros_like(self.w)
+        # Accumulators stay float64 in every compute dtype: they sum
+        # O(n_steps) terms and would lose the tail in float32.
+        rtt_accum = np.zeros(n)
         util_accum = np.zeros(n_links)
         host_energy = 0.0
         switch_energy = 0.0
@@ -637,7 +733,7 @@ class FluidSimulation:
                     b.p_path.fill(0.0)
                 mul_Rt(b.marked_link, b.marked_path)
                 np.minimum(b.marked_path, 1.0, out=b.marked_path)
-                np.add(net.base_rtt, b.qdelay, out=self.rtt)
+                np.add(base_rtt, b.qdelay, out=self.rtt)
                 np.multiply(y, inv_cap, out=b.util)
                 np.minimum(b.util, 1.0, out=b.util)
 
@@ -772,28 +868,7 @@ class FluidSimulation:
     # -------------------------------------------------------------- power
 
     def _host_power_now(self, x_bps: np.ndarray) -> float:
-        """Total host CPU power: static part + per-path marginal terms."""
-        pm = self._pm
-        tau_mbps = x_bps / 1e6
-        if hasattr(pm, "exponent"):
-            base = pm.k * np.power(np.maximum(tau_mbps, 0.0), pm.exponent)
-        else:
-            base = np.where(
-                tau_mbps > 0, pm.base_w + pm.slope_w_per_mbps * tau_mbps, 0.0
-            )
-        rtt_factor = 1.0 + pm.rtt_coefficient * np.maximum(
-            0.0, self.rtt / pm.rtt_reference - 1.0
-        )
-        marginal = base * rtt_factor
-        per_host = self.net.host_incidence @ marginal
-        return self._host_static_w + float(np.sum(per_host))
+        return self.power.host_power_now(x_bps, self.rtt)
 
     def _switch_power_now(self, util: np.ndarray) -> float:
-        """Total switch power: chassis + utilization-proportional ports."""
-        sp = self.switch_power
-        ports = self._switch_ports
-        if len(ports) == 0:
-            return sp.chassis_w * len(self.net.topology.switches)
-        port_util = util[ports]
-        port_power = sp.port_idle_w + (sp.port_max_w - sp.port_idle_w) * port_util
-        return sp.chassis_w * len(self.net.topology.switches) + float(np.sum(port_power))
+        return self.power.switch_power_now(util)

@@ -1,0 +1,296 @@
+"""Direct steady-state solver for the fluid network — no transient integration.
+
+Peng et al. (PAPERS.md) build their whole methodology on solving the
+fluid *equilibrium* instead of integrating Eq. 3 to it; this module does
+the same for a finalized :class:`~repro.fluidsim.network.FluidNetwork`.
+The stationary state of the time-stepped engine satisfies two coupled
+balance conditions:
+
+**Window balance** (per subflow). The engine grows windows by the
+algorithm's per-ACK increase at ``x_r = w_r/RTT_r`` ACKs per second and
+cuts them by the multiplicative decrease on loss events, which arrive as
+a Poisson thinning of rate ``lambda_r = p_r x_r`` suppressed for one RTT
+after each event (fast recovery).  The suppressed process is a renewal
+process with effective event rate ``lambda_r / (1 + lambda_r RTT_r)``,
+so zero mean drift means::
+
+    increase_r(w) * x_r  =  eff_rate_r * (1 - factor_r(w)) * w_r
+
+**Capacity complementarity** (per link).  A link is either under
+capacity with an empty queue and no loss, or its queue is pinned full
+and it drops exactly the excess: ``y_l (1 - p_l) = c_l`` whenever
+``p_l > 0`` — the engine's ``p = (y - c)/y`` drop law rearranged.
+
+The solver treats the per-link loss probabilities as *prices* and runs a
+damped joint relaxation: windows take multiplicative steps toward their
+balance point (``w <- w * (growth/drain)^damping``) while prices follow a
+multiplicative dual ascent on the delivered-load excess
+(``p <- p * exp(price_gain * (y(1-p) - c)/c)``).  Prices must move every
+iteration: for purely coupled decompositions (DTS) the growth/drain
+ratio is independent of the subflow's own window, so with frozen prices
+the per-subflow split has no restoring force.  Queue state follows the
+prices — a link whose price exceeds ``queue_ramp`` is treated as having
+a full buffer, ramping RTTs smoothly instead of flapping the bottleneck
+set.
+
+The per-subflow step size is sign-adaptive.  Algorithms whose increase
+rule picks a discrete "best path" set (OLIA's epsilon allocation) have a
+*discontinuous* best response: at a fixed step size the iterates can
+enter a period-2 cycle, hopping across the discontinuity forever instead
+of settling on it.  Whenever a subflow's drift direction flips, its step
+is halved (floored well below ``tol`` so residual chatter cannot mask a
+genuine stall); while the direction is consistent the step recovers
+geometrically back up to ``damping``.  Oscillation amplitude then decays
+toward the cycle's center — the equilibrium sitting exactly on the
+discontinuity — while well-behaved subflows keep full-size steps.
+
+Convergence is measured by a *rate-weighted* drift norm (how much of the
+aggregate rate allocation one more iteration would move) plus the worst
+capacity-excess on priced links; near-floored subflows carrying no
+traffic drift harmlessly toward ``w = 1`` without holding the solve
+hostage.
+
+Supported algorithms are exactly those whose dynamics are per-ACK
+increase + multiplicative decrease (reno, ewtcp, coupled, lia, olia,
+balia, ecmtcp, dts).  Algorithms with extra ``rate_adjustment`` dynamics
+(wvegas' delay steering, dctcp's ECN drain, dts-ext's energy-price
+drain) have no loss-balance fixed point of this shape and raise
+:class:`~repro.errors.EquilibriumError` — the campaign executor falls
+back to time-stepped integration for them.
+
+Agreement with the time-stepped engine (``tests/test_fluid_equilibrium``
+pins this) is tightest for the coupled family — LIA/OLIA/Balia/DTS
+aggregate rates land within a few percent of a long-horizon
+``FluidSimulation`` — while uncoupled AIMD (reno, ewtcp) runs hotter
+than the stochastic sawtooth by up to ~40%: the deterministic fluid
+equilibrium holds the bottleneck at capacity, where the discrete-loss
+engine leaves sawtooth troughs unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import EquilibriumError
+from repro.fluidsim.adapters import FluidAlgorithm
+from repro.fluidsim.network import FluidNetwork
+from repro.fluidsim.state import CohortState
+
+_EPS = 1e-12
+
+#: Hard bounds on the multiplicative window step per iteration.
+_RATIO_CLIP = (0.25, 4.0)
+#: Per-subflow step-size adaptation: halve on a drift-direction flip,
+#: recover by 1.1x while consistent.  The floor is far below ``tol`` so
+#: a subflow chattering across a best-path discontinuity at floor step
+#: moves the rate-weighted residual by less than the tolerance.
+_STEP_DOWN = 0.5
+_STEP_UP = 1.1
+_STEP_FLOOR = 5e-4
+#: Hard bound on the log-price step per iteration.
+_PRICE_STEP_CLIP = 0.5
+#: Price floor (prices decay geometrically, never reaching zero) and the
+#: engine's p_path ceiling.
+_PRICE_FLOOR = 1e-9
+_PRICE_CEIL = 0.45
+
+
+def equilibrium_supported(algorithm: FluidAlgorithm) -> bool:
+    """Whether ``algorithm``'s fluid dynamics are loss-balance shaped.
+
+    True exactly when the adapter keeps the base-class (all-zeros)
+    ``rate_adjustment`` and reacts to loss rather than ECN: then the
+    stationary condition is increase == loss drain and the solver
+    applies.
+    """
+    return (
+        type(algorithm).rate_adjustment is FluidAlgorithm.rate_adjustment
+        and not algorithm.uses_ecn
+    )
+
+
+@dataclass(frozen=True)
+class FluidEquilibrium:
+    """Stationary state of a fluid network plus solve diagnostics."""
+
+    #: Equilibrium congestion windows, segments (per subflow).
+    w: np.ndarray
+    #: Equilibrium RTTs (base + full-queue delays), seconds.
+    rtt: np.ndarray
+    #: Equilibrium rates w/rtt, segments/second.
+    x_pkts: np.ndarray
+    #: Per-path loss probability at equilibrium.
+    p_path: np.ndarray
+    #: Per-link loss probability (the solver's price variable).
+    link_price: np.ndarray
+    #: Per-link offered utilization min(y/c, 1).
+    link_utilization: np.ndarray
+    #: Equilibrium queue occupancy, bits (full on priced links).
+    queue_bits: np.ndarray
+    #: Delivered goodput per connection, bits/second.
+    connection_goodput_bps: np.ndarray
+    #: Whether the residual dropped below tolerance within max_iter.
+    converged: bool
+    #: Relaxation iterations actually run.
+    iterations: int
+    #: Final residual max(rate drift norm, worst capacity excess).
+    residual: float
+    #: Rate-weighted window-drift component of the residual.
+    residual_window: float
+    #: Worst |delivered - capacity|/capacity over priced links.
+    residual_capacity: float
+
+    @property
+    def aggregate_goodput_bps(self) -> float:
+        """Sum of connection goodputs, bits/second."""
+        return float(np.sum(self.connection_goodput_bps))
+
+    @property
+    def n_subflows(self) -> int:
+        return len(self.w)
+
+
+def _cohort_views(net: FluidNetwork) -> List[Tuple]:
+    """(cohort, slice) pairs; finalize() assigns contiguous cohort ids."""
+    views = []
+    for cohort in net.cohorts:
+        ids = cohort.ids
+        if len(ids) and ids[-1] - ids[0] == len(ids) - 1:
+            sl = slice(int(ids[0]), int(ids[-1]) + 1)
+        else:  # pragma: no cover - not produced by any in-tree builder
+            sl = ids
+        views.append((cohort, sl))
+    return views
+
+
+def solve_fluid_equilibrium(
+    net: FluidNetwork,
+    *,
+    max_iter: int = 400,
+    tol: float = 1e-3,
+    damping: float = 0.4,
+    price_gain: float = 1.2,
+    queue_ramp: float = 1e-4,
+    initial_price: float = 1e-3,
+    initial_window: float = 10.0,
+) -> FluidEquilibrium:
+    """Solve the network's stationary rate allocation directly.
+
+    Returns a :class:`FluidEquilibrium` whether or not the relaxation
+    converged — check ``.converged`` (the campaign executor falls back
+    to time-stepped integration when it is False).  Raises
+    :class:`~repro.errors.EquilibriumError` for structurally invalid
+    input: an unfinalized or empty network, an unsupported algorithm,
+    or non-positive solver parameters.
+    """
+    if net.base_rtt is None:
+        raise EquilibriumError("finalize() the FluidNetwork before solving")
+    n = net.n_subflows
+    if n == 0:
+        raise EquilibriumError("cannot solve an empty network (no subflows)")
+    for name, value in (("max_iter", max_iter), ("tol", tol),
+                        ("damping", damping), ("price_gain", price_gain),
+                        ("queue_ramp", queue_ramp),
+                        ("initial_price", initial_price),
+                        ("initial_window", initial_window)):
+        if value <= 0:
+            raise EquilibriumError(f"{name} must be positive, got {value}")
+    unsupported = sorted(
+        cohort.algorithm.name for cohort in net.cohorts
+        if not equilibrium_supported(cohort.algorithm)
+    )
+    if unsupported:
+        raise EquilibriumError(
+            "no loss-balance equilibrium for algorithm(s) "
+            f"{', '.join(unsupported)}; use the time-stepped engine")
+
+    R, Rt = net.routing, net.routing_t
+    cap = net.capacity
+    buf = net.buffer_bits
+    pkt_bits = net.packet_bits
+    base_rtt = net.base_rtt
+    inv_cap = 1.0 / cap
+    views = _cohort_views(net)
+    # ecn_marked is only read by ECN algorithms, all unsupported here.
+    marked = np.zeros(n)
+
+    w = np.full(n, float(initial_window))
+    price = np.full(net.n_links, float(initial_price))
+    growth = np.empty(n)
+    drain = np.empty(n)
+    step = np.full(n, float(damping))
+    prev_sign = np.zeros(n)
+
+    iterations = 0
+    res_w = res_p = np.inf
+    for iterations in range(1, max_iter + 1):
+        q_frac = np.minimum(price / queue_ramp, 1.0)
+        queue_bits = q_frac * buf
+        qdelay = Rt @ (queue_bits * inv_cap)
+        rtt = base_rtt + qdelay
+        p_path = np.minimum(Rt @ price, 0.5)
+        x = w / rtt
+        lam = p_path * x
+        eff_rate = lam / (1.0 + lam * rtt)
+        for cohort, sl in views:
+            st = CohortState(
+                w=w[sl], rtt=rtt[sl], base_rtt=base_rtt[sl],
+                loss=p_path[sl], queueing=qdelay[sl],
+                switch_hops=net.switch_hops[sl], ecn_marked=marked[sl],
+                user_starts=cohort.user_starts, user_of=cohort.user_of,
+                x=x[sl])
+            increase = cohort.algorithm.per_ack_increase(st)
+            factor = cohort.algorithm.loss_decrease_factor(st)
+            growth[sl] = increase * st.x_pkts
+            drain[sl] = eff_rate[sl] * (1.0 - factor) * w[sl]
+        log_ratio = np.log(
+            np.clip((growth + _EPS) / (drain + _EPS), *_RATIO_CLIP))
+        sign = np.sign(log_ratio)
+        flip = (sign * prev_sign) < 0
+        step = np.where(flip, np.maximum(step * _STEP_DOWN, _STEP_FLOOR),
+                        np.minimum(step * _STEP_UP, damping))
+        prev_sign = sign
+        w_new = np.clip(w * np.exp(step * log_ratio), 1.0, 1e7)
+        # Rate-weighted drift: the fraction of aggregate rate this step
+        # still moved.  Floor-bound subflows carry no rate and converge
+        # in rate terms long before their windows settle at exactly 1.
+        res_w = float(np.sum(np.abs(w_new - w) / rtt) / (np.sum(x) + _EPS))
+        w = w_new
+        y = R @ ((w / rtt) * pkt_bits)
+        excess = (y * (1.0 - price) - cap) * inv_cap
+        price = np.clip(
+            price * np.exp(np.clip(price_gain * excess,
+                                   -_PRICE_STEP_CLIP, _PRICE_STEP_CLIP)),
+            _PRICE_FLOOR, _PRICE_CEIL)
+        active = price > queue_ramp
+        res_p = float(np.max(np.abs(excess), where=active, initial=0.0))
+        if max(res_w, res_p) < tol and iterations > 10:
+            break
+
+    q_frac = np.minimum(price / queue_ramp, 1.0)
+    queue_bits = q_frac * buf
+    rtt = base_rtt + Rt @ (queue_bits * inv_cap)
+    x = w / rtt
+    p_path = np.minimum(Rt @ price, 0.5)
+    y = R @ (x * pkt_bits)
+    goodput_sub = x * pkt_bits * (1.0 - p_path)
+    conn_goodput = np.bincount(net.subflow_conn, weights=goodput_sub,
+                               minlength=len(net.connections))
+    return FluidEquilibrium(
+        w=w,
+        rtt=rtt,
+        x_pkts=x,
+        p_path=p_path,
+        link_price=price,
+        link_utilization=np.minimum(y * inv_cap, 1.0),
+        queue_bits=queue_bits,
+        connection_goodput_bps=conn_goodput,
+        converged=bool(max(res_w, res_p) < tol),
+        iterations=iterations,
+        residual=float(max(res_w, res_p)),
+        residual_window=res_w,
+        residual_capacity=res_p,
+    )

@@ -15,6 +15,24 @@ from repro.units import DEFAULT_PACKET_BYTES
 
 
 @dataclass(frozen=True)
+class ComputeArrays:
+    """The per-link/per-subflow constants of the step loop in one dtype.
+
+    :meth:`FluidNetwork.compute_arrays` hands these to the engine so a
+    float32 simulation reads half-width copies of the invariant arrays
+    (and CSR data vectors for the raw matvec kernel) instead of paying
+    an upcast on every operation.
+    """
+
+    base_rtt: np.ndarray
+    capacity: np.ndarray
+    inv_capacity: np.ndarray
+    buffer_bits: np.ndarray
+    routing_data: np.ndarray
+    routing_t_data: np.ndarray
+
+
+@dataclass(frozen=True)
 class RoutingPlan:
     """CSR-derived gather/scatter index arrays for the engine fast path.
 
@@ -149,6 +167,9 @@ class FluidNetwork:
         self.host_incidence: Optional[sparse.csr_matrix] = None
         self.host_subflow_count: Optional[np.ndarray] = None
         self.switch_egress: Dict[str, List[int]] = {}
+        #: Per-dtype copies of the hot step-loop constants, built lazily
+        #: by :meth:`compute_arrays`.
+        self._compute_cache: Dict[np.dtype, "ComputeArrays"] = {}
 
     # ---------------------------------------------------------------- build
 
@@ -283,3 +304,37 @@ class FluidNetwork:
     @property
     def n_links(self) -> int:
         return len(self.capacity)
+
+    def compute_arrays(self, dtype) -> "ComputeArrays":
+        """The step-loop constants in ``dtype``, cached per dtype.
+
+        ``float64`` returns views of the canonical arrays (no copies);
+        ``float32`` materializes half-width copies once so every
+        simulation sharing this network reuses them.  Requires
+        :meth:`finalize`.
+        """
+        if self.base_rtt is None:
+            raise ConfigurationError("finalize() the network first")
+        dtype = np.dtype(dtype)
+        cached = self._compute_cache.get(dtype)
+        if cached is None:
+            if dtype == self.base_rtt.dtype:
+                cached = ComputeArrays(
+                    base_rtt=self.base_rtt,
+                    capacity=self.capacity,
+                    inv_capacity=1.0 / self.capacity,
+                    buffer_bits=self.buffer_bits,
+                    routing_data=self.routing.data,
+                    routing_t_data=self.routing_t.data,
+                )
+            else:
+                cached = ComputeArrays(
+                    base_rtt=self.base_rtt.astype(dtype),
+                    capacity=self.capacity.astype(dtype),
+                    inv_capacity=(1.0 / self.capacity).astype(dtype),
+                    buffer_bits=self.buffer_bits.astype(dtype),
+                    routing_data=self.routing.data.astype(dtype),
+                    routing_t_data=self.routing_t.data.astype(dtype),
+                )
+            self._compute_cache[dtype] = cached
+        return cached

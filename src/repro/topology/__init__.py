@@ -27,7 +27,7 @@ from repro.topology.dumbbell import (
     build_traffic_shifting,
 )
 from repro.topology.ec2 import Ec2Cloud
-from repro.topology.fattree import FatTree
+from repro.topology.fattree import FatTree, fattree24, fattree32
 from repro.topology.vl2 import Vl2
 from repro.topology.wireless import HeterogeneousWirelessScenario, build_wireless
 
@@ -45,4 +45,6 @@ __all__ = [
     "build_shared_bottleneck",
     "build_traffic_shifting",
     "build_wireless",
+    "fattree24",
+    "fattree32",
 ]

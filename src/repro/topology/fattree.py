@@ -103,3 +103,19 @@ class FatTree(DcTopology):
                 if len(out) >= max_paths:
                     return out
         return out
+
+
+def fattree24(*, link_bps: float = mbps(100), link_delay: float = ms(1)) -> FatTree:
+    """City-scale preset: FatTree(24) — 3456 hosts, 720 switches,
+    20736 directed links, 144 equal-cost inter-pod paths per host pair.
+
+    The default 1 ms link delay (vs. the paper-replica 100 ms of
+    ``FatTree()``) keeps RTTs datacenter-like at this scale.
+    """
+    return FatTree(24, link_bps=link_bps, link_delay=link_delay)
+
+
+def fattree32(*, link_bps: float = mbps(100), link_delay: float = ms(1)) -> FatTree:
+    """City-scale preset: FatTree(32) — 8192 hosts, 1280 switches,
+    49152 directed links, 256 equal-cost inter-pod paths per host pair."""
+    return FatTree(32, link_bps=link_bps, link_delay=link_delay)

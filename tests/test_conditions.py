@@ -18,7 +18,8 @@ from repro.errors import ModelError
 
 def equilibrium(name, rtt, loss):
     model = decomposition(name)
-    return model, solve_equilibrium(model, np.asarray(rtt), np.asarray(loss))
+    sol = solve_equilibrium(model, np.asarray(rtt), np.asarray(loss))
+    return model, sol.state
 
 
 class TestCondition1:
